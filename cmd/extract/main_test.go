@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+)
+
+func TestParseMeta(t *testing.T) {
+	items, err := parseMeta("srcIP=10.191.64.165,dstPort=80,proto=tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("%d items", len(items))
+	}
+	if items[0].Feature != flow.FeatSrcIP || items[0].Value != uint32(flow.MustParseIP("10.191.64.165")) {
+		t.Fatalf("item 0 = %v", items[0])
+	}
+	if items[1].Feature != flow.FeatDstPort || items[1].Value != 80 {
+		t.Fatalf("item 1 = %v", items[1])
+	}
+	if items[2].Feature != flow.FeatProto || items[2].Value != uint32(flow.ProtoTCP) {
+		t.Fatalf("item 2 = %v", items[2])
+	}
+}
+
+func TestParseMetaWhitespaceAndEmpty(t *testing.T) {
+	items, err := parseMeta(" dstPort=443 , srcPort=1000 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0].Value != 443 || items[1].Value != 1000 {
+		t.Fatalf("items = %v", items)
+	}
+	empty, err := parseMeta("")
+	if err != nil || empty != nil {
+		t.Fatalf("empty meta = %v, %v", empty, err)
+	}
+}
+
+func TestParseMetaErrors(t *testing.T) {
+	bad := []string{
+		"noequals",
+		"bogusfeature=1",
+		"srcIP=not-an-ip",
+		"dstPort=abc",
+		"proto=zzz",
+	}
+	for _, s := range bad {
+		if _, err := parseMeta(s); err == nil {
+			t.Errorf("parseMeta(%q) must fail", s)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command flowgen generates labeled synthetic NetFlow traces into a flow
+// store — the stand-in for the GEANT/SWITCH NetFlow feeds of the paper's
+// deployments. Scenarios bundle a background model with injected,
+// ground-truth-annotated anomalies.
+//
+// Usage:
+//
+//	flowgen -out /tmp/flows -scenario portscan -bins 30 -sample 100
+//
+// Scenarios: quiet (background only), portscan, ddos, udpflood,
+// table1 (the paper's Table 1 situation: two scanners + two DDoS on one
+// target).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/nfstore"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "output store directory (required)")
+		scenario = flag.String("scenario", "portscan", "scenario: quiet|portscan|ddos|udpflood|table1")
+		bins     = flag.Int("bins", 30, "number of measurement bins")
+		binSec   = flag.Uint("bin-seconds", nfstore.DefaultBinSeconds, "measurement bin width in seconds")
+		pops     = flag.Int("pops", 4, "number of ingress PoPs")
+		flowsBin = flag.Int("flows-per-bin", 400, "mean background flows per bin per PoP")
+		hosts    = flag.Int("hosts", 2000, "client address pool size")
+		servers  = flag.Int("servers", 300, "server address pool size")
+		seed     = flag.Uint64("seed", 1, "generation seed")
+		sample   = flag.Uint("sample", 1, "packet sampling rate N (1-in-N; 1 = unsampled)")
+		start    = flag.Uint("start", 1_300_000_200, "trace start (unix seconds)")
+		anomBin  = flag.Int("anomaly-bin", -1, "bin index for the anomaly (-1 = 2/3 of the trace)")
+		diurnal  = flag.Bool("diurnal", false, "modulate background volume diurnally")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "flowgen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*out, *scenario, *bins, uint32(*binSec), *pops, *flowsBin, *hosts, *servers,
+		*seed, uint32(*sample), uint32(*start), *anomBin, *diurnal); err != nil {
+		fmt.Fprintln(os.Stderr, "flowgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, scenarioName string, bins int, binSec uint32, pops, flowsBin, hosts, servers int,
+	seed uint64, sample, start uint32, anomBin int, diurnal bool) error {
+	store, err := nfstore.Create(out, binSec)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	if anomBin < 0 {
+		anomBin = bins * 2 / 3
+	}
+	placements, err := scenarioPlacements(scenarioName, anomBin)
+	if err != nil {
+		return err
+	}
+	s := gen.Scenario{
+		Background: gen.Background{
+			NumPoPs: pops, FlowsPerBin: flowsBin,
+			Hosts: hosts, Servers: servers, Diurnal: diurnal,
+		},
+		Bins: bins, StartTime: start, Seed: seed,
+		SampleRate: sample, Placements: placements,
+	}
+	truth, err := s.Generate(store)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("generated %s: span %s, %d background flows (stored)\n",
+		out, truth.Span, truth.BackgroundFlows)
+	if len(truth.Entries) > 0 {
+		t := report.New("ground truth", "anno", "kind", "description", "interval",
+			"injected flows", "stored flows", "stored packets")
+		for _, e := range truth.Entries {
+			t.AddRow(fmt.Sprintf("%d", e.Anno), string(e.Kind), e.Describe,
+				e.Interval.String(),
+				fmt.Sprintf("%d", e.InjectedFlows),
+				fmt.Sprintf("%d", e.StoredFlows),
+				fmt.Sprintf("%d", e.StoredPkts))
+		}
+		fmt.Print(t.String())
+	}
+	return nil
+}
+
+// scenarioPlacements maps a scenario name to its anomaly placements.
+func scenarioPlacements(name string, bin int) ([]gen.Placement, error) {
+	scanner := flow.MustParseIP("10.191.64.165")
+	scanner2 := flow.MustParseIP("10.22.180.9")
+	victim := flow.MustParseIP("198.19.137.129")
+	switch name {
+	case "quiet":
+		return nil, nil
+	case "portscan":
+		return []gen.Placement{
+			{Anomaly: gen.PortScan{Scanner: scanner, Victim: victim, SrcPort: 55548,
+				Ports: 2000, FlowsPerPort: 2, Router: 1}, Bin: bin},
+		}, nil
+	case "ddos":
+		return []gen.Placement{
+			{Anomaly: gen.SYNFlood{Victim: victim, DstPort: 80, Sources: 2000,
+				FlowsPerSource: 3, SourceNet: flow.MustParsePrefix("172.16.0.0/12"),
+				Router: 0}, Bin: bin},
+		}, nil
+	case "udpflood":
+		return []gen.Placement{
+			{Anomaly: gen.UDPFlood{Src: scanner, Dst: victim, DstPort: 9999,
+				Flows: 4, PacketsPerFlow: 2_000_000, Router: 2}, Bin: bin},
+		}, nil
+	case "table1":
+		return []gen.Placement{
+			{Anomaly: gen.PortScan{Scanner: scanner, Victim: victim, SrcPort: 55548,
+				Ports: 62518, FlowsPerPort: 5, Router: 1}, Bin: bin},
+			{Anomaly: gen.PortScan{Scanner: scanner2, Victim: victim, SrcPort: 55548,
+				Ports: 54148, FlowsPerPort: 5, Router: 2}, Bin: bin},
+			{Anomaly: gen.SYNFlood{Victim: victim, DstPort: 80, Sources: 18595,
+				FlowsPerSource: 2, SrcPort: 3072,
+				SourceNet: flow.MustParsePrefix("172.16.0.0/12"), Router: 0}, Bin: bin},
+			{Anomaly: gen.SYNFlood{Victim: victim, DstPort: 80, Sources: 18640,
+				FlowsPerSource: 2, SrcPort: 1024,
+				SourceNet: flow.MustParsePrefix("172.16.0.0/12"), Router: 1}, Bin: bin},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", name)
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestScenarioPlacements(t *testing.T) {
+	cases := []struct {
+		name string
+		want int
+	}{
+		{"quiet", 0},
+		{"portscan", 1},
+		{"ddos", 1},
+		{"udpflood", 1},
+		{"table1", 4},
+	}
+	for _, c := range cases {
+		got, err := scenarioPlacements(c.name, 3)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if len(got) != c.want {
+			t.Errorf("%s: %d placements, want %d", c.name, len(got), c.want)
+		}
+		for _, p := range got {
+			if p.Bin != 3 {
+				t.Errorf("%s: placement bin %d, want 3", c.name, p.Bin)
+			}
+			if p.Anomaly == nil {
+				t.Errorf("%s: nil anomaly", c.name)
+			}
+		}
+	}
+	if _, err := scenarioPlacements("nonsense", 0); err == nil {
+		t.Error("unknown scenario must error")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir() + "/store"
+	err := run(dir, "portscan", 4, 300, 2, 100, 500, 100, 1, 1, 1_300_000_200, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Running again into the same store must fail (Create refuses).
+	if err := run(dir, "quiet", 2, 300, 1, 10, 10, 10, 1, 1, 0, 0, false); err == nil {
+		t.Fatal("second run into the same directory must fail")
+	}
+}

@@ -1,0 +1,240 @@
+// Command rcad serves the HTTP JSON backend of the paper's operator GUI:
+// listing alarms, running extraction for an alarm, drilling down to raw
+// flows with nfdump-style filters, and recording verdicts. The paper's
+// front-end is a GUI over exactly these operations; any HTTP client can
+// drive this backend.
+//
+// Usage:
+//
+//	rcad -store /tmp/flows -alarmdb /tmp/alarms.json -listen :8642
+//
+// Endpoints:
+//
+//	GET  /api/health
+//	GET  /api/alarms?from=UNIX&to=UNIX
+//	GET  /api/alarms/{id}
+//	POST /api/alarms/{id}/extract
+//	POST /api/alarms/{id}/verdict   body: {"validated":true,"note":"..."}
+//	GET  /api/flows?from=UNIX&to=UNIX&filter=EXPR&limit=N
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+
+	rootcause "repro"
+	"repro/internal/flow"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "", "flow store directory (required)")
+		dbPath   = flag.String("alarmdb", "", "alarm database JSON path")
+		listen   = flag.String("listen", ":8642", "listen address")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "rcad: -store is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	sys, err := rootcause.Open(rootcause.Config{StoreDir: *storeDir, AlarmDBPath: *dbPath})
+	if err != nil {
+		log.Fatal("rcad: ", err)
+	}
+	defer sys.Close()
+
+	srv := &server{sys: sys}
+	log.Printf("rcad: serving %s on %s", *storeDir, *listen)
+	if err := http.ListenAndServe(*listen, srv.routes()); err != nil {
+		log.Fatal("rcad: ", err)
+	}
+}
+
+// server holds the handler state.
+type server struct {
+	sys *rootcause.System
+}
+
+// routes builds the HTTP mux.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/health", s.handleHealth)
+	mux.HandleFunc("GET /api/alarms", s.handleAlarms)
+	mux.HandleFunc("GET /api/alarms/{id}", s.handleAlarm)
+	mux.HandleFunc("POST /api/alarms/{id}/extract", s.handleExtract)
+	mux.HandleFunc("POST /api/alarms/{id}/verdict", s.handleVerdict)
+	mux.HandleFunc("GET /api/flows", s.handleFlows)
+	return mux
+}
+
+// writeJSON writes a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("rcad: encode response: %v", err)
+	}
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// parseSpan reads from/to query parameters (0 = open end).
+func parseSpan(r *http.Request) (flow.Interval, error) {
+	parse := func(key string, def uint32) (uint32, error) {
+		v := r.URL.Query().Get(key)
+		if v == "" {
+			return def, nil
+		}
+		n, err := strconv.ParseUint(v, 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s: %v", key, err)
+		}
+		return uint32(n), nil
+	}
+	from, err := parse("from", 0)
+	if err != nil {
+		return flow.Interval{}, err
+	}
+	to, err := parse("to", ^uint32(0))
+	if err != nil {
+		return flow.Interval{}, err
+	}
+	return flow.Interval{Start: from, End: to}, nil
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	span, ok, err := s.sys.Store().Span()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"store_span": span.String(),
+		"has_data":   ok,
+	})
+}
+
+func (s *server) handleAlarms(w http.ResponseWriter, r *http.Request) {
+	span, err := parseSpan(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sys.Alarms(span))
+}
+
+func (s *server) handleAlarm(w http.ResponseWriter, r *http.Request) {
+	entry, err := s.sys.Alarm(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, entry)
+}
+
+// extractResponse is the JSON shape of an extraction result.
+type extractResponse struct {
+	AlarmID          string        `json:"alarm_id"`
+	CandidateFlows   uint64        `json:"candidate_flows"`
+	CandidatePackets uint64        `json:"candidate_packets"`
+	Prefiltered      bool          `json:"prefiltered"`
+	Itemsets         []itemsetJSON `json:"itemsets"`
+	Table            string        `json:"table"`
+}
+
+// itemsetJSON is one itemset row with its drill-down filter.
+type itemsetJSON struct {
+	Items         string  `json:"items"`
+	FlowSupport   uint64  `json:"flow_support"`
+	PacketSupport uint64  `json:"packet_support"`
+	Score         float64 `json:"score"`
+	Filter        string  `json:"filter"`
+}
+
+func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := s.sys.Extract(id)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := extractResponse{
+		AlarmID:          id,
+		CandidateFlows:   res.CandidateFlows,
+		CandidatePackets: res.CandidatePackets,
+		Prefiltered:      res.Prefiltered,
+		Table:            res.Table().String(),
+	}
+	for i := range res.Itemsets {
+		rep := &res.Itemsets[i]
+		resp.Itemsets = append(resp.Itemsets, itemsetJSON{
+			Items:         rep.Items.String(),
+			FlowSupport:   rep.FlowSupport,
+			PacketSupport: rep.PacketSupport,
+			Score:         rep.Score,
+			Filter:        rep.Filter().String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Validated bool   `json:"validated"`
+		Note      string `json:"note"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
+		return
+	}
+	if err := s.sys.SetVerdict(r.PathValue("id"), body.Validated, body.Note); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	span, err := parseSpan(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit := 1000
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	flows, err := s.sys.Flows(span, r.URL.Query().Get("filter"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	total := len(flows)
+	if len(flows) > limit {
+		flows = flows[:limit]
+	}
+	lines := make([]string, len(flows))
+	for i := range flows {
+		lines[i] = flows[i].String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":    total,
+		"returned": len(lines),
+		"flows":    lines,
+	})
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	rootcause "repro"
+	"repro/internal/detector"
+	"repro/internal/flow"
+	"repro/internal/gen"
+)
+
+// newTestServer builds a system with a scan scenario and one filed alarm,
+// wrapped in an httptest server.
+func newTestServer(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	sys, err := rootcause.Create(rootcause.Config{
+		StoreDir:    filepath.Join(dir, "flows"),
+		AlarmDBPath: filepath.Join(dir, "alarms.json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	scanner := flow.MustParseIP("10.191.64.165")
+	victim := flow.MustParseIP("198.19.137.129")
+	scenario := gen.Scenario{
+		Background: gen.Background{NumPoPs: 2, FlowsPerBin: 200},
+		Bins:       4, StartTime: 1_300_000_200, Seed: 3,
+		Placements: []gen.Placement{
+			{Anomaly: gen.PortScan{Scanner: scanner, Victim: victim, SrcPort: 55548,
+				Ports: 1000, FlowsPerPort: 1, Router: 1}, Bin: 2},
+		},
+	}
+	truth, err := scenario.Generate(sys.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sys.FileAlarm(rootcause.Alarm{
+		Detector: "test",
+		Interval: truth.Entries[0].Interval,
+		Kind:     detector.KindPortScan,
+		Meta: []detector.MetaItem{
+			{Feature: flow.FeatSrcIP, Value: uint32(scanner)},
+		},
+	})
+	srv := httptest.NewServer((&server{sys: sys}).routes())
+	t.Cleanup(srv.Close)
+	return srv, id
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestHealth(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var body map[string]any
+	if code := getJSON(t, srv.URL+"/api/health", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body["status"] != "ok" || body["has_data"] != true {
+		t.Fatalf("health = %v", body)
+	}
+}
+
+func TestAlarmListAndGet(t *testing.T) {
+	srv, id := newTestServer(t)
+	var list []map[string]any
+	if code := getJSON(t, srv.URL+"/api/alarms", &list); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(list) != 1 {
+		t.Fatalf("%d alarms", len(list))
+	}
+	var entry map[string]any
+	if code := getJSON(t, srv.URL+"/api/alarms/"+id, &entry); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if entry["status"] != "new" {
+		t.Fatalf("entry = %v", entry)
+	}
+	var errBody map[string]string
+	if code := getJSON(t, srv.URL+"/api/alarms/404", &errBody); code != http.StatusNotFound {
+		t.Fatalf("unknown alarm status %d", code)
+	}
+}
+
+func TestExtractEndpoint(t *testing.T) {
+	srv, id := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/api/alarms/"+id+"/extract", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body extractResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Itemsets) == 0 {
+		t.Fatal("no itemsets in response")
+	}
+	if !strings.Contains(body.Table, "srcIP") {
+		t.Fatalf("table missing:\n%s", body.Table)
+	}
+	if !strings.Contains(body.Itemsets[0].Filter, "src ip 10.191.64.165") {
+		t.Fatalf("drill-down filter = %q", body.Itemsets[0].Filter)
+	}
+	// The alarm is now analyzed.
+	var entry map[string]any
+	getJSON(t, srv.URL+"/api/alarms/"+id, &entry)
+	if entry["status"] != "analyzed" {
+		t.Fatalf("post-extract status = %v", entry["status"])
+	}
+}
+
+func TestVerdictEndpoint(t *testing.T) {
+	srv, id := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/api/alarms/"+id+"/verdict", "application/json",
+		strings.NewReader(`{"validated":true,"note":"confirmed"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var entry map[string]any
+	getJSON(t, srv.URL+"/api/alarms/"+id, &entry)
+	if entry["status"] != "validated" {
+		t.Fatalf("status = %v", entry["status"])
+	}
+	// Bad body.
+	resp, err = http.Post(srv.URL+"/api/alarms/"+id+"/verdict", "application/json",
+		strings.NewReader("{broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status %d", resp.StatusCode)
+	}
+}
+
+func TestFlowsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var body struct {
+		Total    int      `json:"total"`
+		Returned int      `json:"returned"`
+		Flows    []string `json:"flows"`
+	}
+	url := srv.URL + "/api/flows?filter=" +
+		"src+ip+10.191.64.165+and+src+port+55548&limit=5"
+	if code := getJSON(t, url, &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body.Total != 1000 {
+		t.Fatalf("total = %d, want 1000 scan flows", body.Total)
+	}
+	if body.Returned != 5 || len(body.Flows) != 5 {
+		t.Fatalf("returned = %d", body.Returned)
+	}
+	// Bad filter and bad limit.
+	var errBody map[string]string
+	if code := getJSON(t, srv.URL+"/api/flows?filter=banana", &errBody); code != http.StatusBadRequest {
+		t.Fatalf("bad filter status %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/flows?limit=-3", &errBody); code != http.StatusBadRequest {
+		t.Fatalf("bad limit status %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/api/flows?from=abc", &errBody); code != http.StatusBadRequest {
+		t.Fatalf("bad from status %d", code)
+	}
+}

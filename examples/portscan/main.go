@@ -1,0 +1,48 @@
+// Portscan reproduces the paper's Table 1 end to end: a NetReflex alarm
+// names one scanner, and extraction additionally surfaces a second
+// scanner on the same target plus two simultaneous TCP SYN DDoS itemsets
+// against its port 80 — "particularly interesting cases" in the paper's
+// words, because the detector missed them.
+//
+// Run with:
+//
+//	go run ./examples/portscan
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "portscan-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Println("Reproducing Table 1 (this generates ~660K anomaly flows; a few seconds)...")
+	res, err := eval.RunTable1(dir, eval.DefaultTable1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Table().String())
+	fmt.Println(`
+Paper's Table 1 for comparison (addresses anonymized as X.*/Y.*):
+  srcIP          dstIP          srcPort  dstPort   #flows
+  X.191.64.165   Y.13.137.129   55548    *        312.59K   <- flagged scanner
+  X.191.64.165*  Y.13.137.129   55548    *        270.74K   <- second scanner
+  *              Y.13.137.129   3072     80        37.19K   <- DDoS 1
+  *              Y.13.137.129   1024     80        37.28K   <- DDoS 2
+
+The alarm's meta-data named only the first scanner; rows 2-4 are the
+flows the detector missed and the miner recovered.`)
+
+	for _, rep := range res.Itemsets {
+		fmt.Printf("drill-down filter: %s\n", rep.Filter().String())
+	}
+}

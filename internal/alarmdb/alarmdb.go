@@ -1,0 +1,210 @@
+// Package alarmdb is the alarm database of the paper's architecture
+// (Figure 1): detectors write alarms into it, the extraction GUI reads
+// them back by time range and records the operator's verdict after
+// analysis. It is an in-memory store with JSON file persistence — the
+// paper's deployment used a SQL database for the same role; the contract
+// (insert, query by interval, status workflow) is what matters to the
+// rest of the system.
+package alarmdb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/detector"
+	"repro/internal/flow"
+)
+
+// Status tracks an alarm through the operator workflow.
+type Status string
+
+// Alarm statuses: new (from the detector), analyzed (extraction ran),
+// validated (operator confirmed a security incident), rejected (operator
+// marked it a false positive).
+const (
+	StatusNew       Status = "new"
+	StatusAnalyzed  Status = "analyzed"
+	StatusValidated Status = "validated"
+	StatusRejected  Status = "rejected"
+)
+
+// Entry is one stored alarm with its workflow state.
+type Entry struct {
+	Alarm  detector.Alarm `json:"alarm"`
+	Status Status         `json:"status"`
+	// Note is a free-form operator comment.
+	Note string `json:"note,omitempty"`
+}
+
+// DB is the alarm database. Safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	nextID  int
+	path    string // persistence file, "" = memory only
+}
+
+// New returns an empty in-memory database.
+func New() *DB {
+	return &DB{entries: map[string]*Entry{}, nextID: 1}
+}
+
+// Open loads a database from a JSON file, creating an empty one when the
+// file does not exist yet. Save persists back to the same path.
+func Open(path string) (*DB, error) {
+	db := New()
+	db.path = path
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return db, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("alarmdb: open %s: %w", path, err)
+	}
+	var entries []*Entry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, fmt.Errorf("alarmdb: parse %s: %w", path, err)
+	}
+	maxID := 0
+	for _, e := range entries {
+		db.entries[e.Alarm.ID] = e
+		if n, err := strconv.Atoi(e.Alarm.ID); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+	db.nextID = maxID + 1
+	return db, nil
+}
+
+// Save persists the database to its file (no-op for memory-only DBs).
+func (db *DB) Save() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.path == "" {
+		return nil
+	}
+	entries := db.sortedLocked()
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("alarmdb: encode: %w", err)
+	}
+	if err := os.WriteFile(db.path, raw, 0o644); err != nil {
+		return fmt.Errorf("alarmdb: write %s: %w", db.path, err)
+	}
+	return nil
+}
+
+// Insert stores an alarm, assigns it a fresh ID (returned and also set on
+// the stored copy) and marks it new.
+func (db *DB) Insert(a detector.Alarm) string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id := strconv.Itoa(db.nextID)
+	db.nextID++
+	a.ID = id
+	db.entries[id] = &Entry{Alarm: a, Status: StatusNew}
+	return id
+}
+
+// InsertAll stores a batch of alarms, returning their IDs in order.
+func (db *DB) InsertAll(alarms []detector.Alarm) []string {
+	ids := make([]string, len(alarms))
+	for i, a := range alarms {
+		ids[i] = db.Insert(a)
+	}
+	return ids
+}
+
+// ErrNotFound is returned for unknown alarm IDs.
+var ErrNotFound = errors.New("alarmdb: alarm not found")
+
+// Get returns a copy of the entry with the given ID.
+func (db *DB) Get(id string) (Entry, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.entries[id]
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return *e, nil
+}
+
+// SetStatus updates an alarm's workflow status and note.
+func (db *DB) SetStatus(id string, status Status, note string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	switch status {
+	case StatusNew, StatusAnalyzed, StatusValidated, StatusRejected:
+	default:
+		return fmt.Errorf("alarmdb: invalid status %q", status)
+	}
+	e.Status = status
+	if note != "" {
+		e.Note = note
+	}
+	return nil
+}
+
+// Len returns the number of stored alarms.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// All returns every entry ordered by interval start, then ID.
+func (db *DB) All() []Entry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Entry, 0, len(db.entries))
+	for _, e := range db.sortedLocked() {
+		out = append(out, *e)
+	}
+	return out
+}
+
+// Query returns entries whose alarm interval overlaps iv, optionally
+// restricted to one status ("" = all), ordered by interval start.
+func (db *DB) Query(iv flow.Interval, status Status) []Entry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Entry
+	for _, e := range db.sortedLocked() {
+		if !e.Alarm.Interval.Overlaps(iv) {
+			continue
+		}
+		if status != "" && e.Status != status {
+			continue
+		}
+		out = append(out, *e)
+	}
+	return out
+}
+
+// sortedLocked returns entries ordered by (interval start, numeric ID).
+// Caller holds at least the read lock.
+func (db *DB) sortedLocked() []*Entry {
+	entries := make([]*Entry, 0, len(db.entries))
+	for _, e := range db.entries {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Alarm.Interval.Start != b.Alarm.Interval.Start {
+			return a.Alarm.Interval.Start < b.Alarm.Interval.Start
+		}
+		ai, _ := strconv.Atoi(a.Alarm.ID)
+		bi, _ := strconv.Atoi(b.Alarm.ID)
+		return ai < bi
+	})
+	return entries
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/flow"
+	"repro/internal/report"
+)
+
+// Table renders the extraction result in the shape of the paper's
+// Table 1: one row per itemset, one column per traffic feature (absent
+// features shown as "*", exactly like the paper's wildcards), plus the
+// flow and packet supports.
+func (r *Result) Table() *report.Table {
+	t := report.New(
+		fmt.Sprintf("Itemsets for alarm %s (%s, %s)", r.Alarm.ID, r.Alarm.Kind, r.Alarm.Interval),
+		"srcIP", "dstIP", "srcPort", "dstPort", "proto", "#flows", "#packets",
+	)
+	for i := range r.Itemsets {
+		rep := &r.Itemsets[i]
+		row := make([]string, 0, 7)
+		for _, f := range flow.Features() {
+			if v, ok := rep.Items.Feature(f); ok {
+				row = append(row, f.FormatValue(v))
+			} else {
+				row = append(row, "*")
+			}
+		}
+		row = append(row, humanCount(rep.FlowSupport), humanCount(rep.PacketSupport))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// humanCount renders counts the way the paper's Table 1 does: "312.59K"
+// style suffixes above 10,000, plain integers below.
+func humanCount(v uint64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.2fG", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.2fK", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -1,0 +1,88 @@
+package detector
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+func TestMetaItemString(t *testing.T) {
+	m := MetaItem{Feature: flow.FeatSrcIP, Value: uint32(flow.MustParseIP("10.191.64.165"))}
+	if m.String() != "srcIP=10.191.64.165" {
+		t.Fatalf("MetaItem.String = %q", m.String())
+	}
+}
+
+func TestMetaItemNodeMatchesCorrectSide(t *testing.T) {
+	r := &flow.Record{
+		SrcIP: flow.MustParseIP("10.0.0.1"), DstIP: flow.MustParseIP("10.0.0.2"),
+		SrcPort: 1000, DstPort: 80, Proto: flow.ProtoTCP, Packets: 1, Bytes: 40,
+	}
+	cases := []struct {
+		m    MetaItem
+		want bool
+	}{
+		{MetaItem{flow.FeatSrcIP, uint32(r.SrcIP)}, true},
+		{MetaItem{flow.FeatSrcIP, uint32(r.DstIP)}, false}, // src-qualified
+		{MetaItem{flow.FeatDstIP, uint32(r.DstIP)}, true},
+		{MetaItem{flow.FeatSrcPort, 1000}, true},
+		{MetaItem{flow.FeatSrcPort, 80}, false},
+		{MetaItem{flow.FeatDstPort, 80}, true},
+		{MetaItem{flow.FeatProto, uint32(flow.ProtoTCP)}, true},
+		{MetaItem{flow.FeatProto, uint32(flow.ProtoUDP)}, false},
+	}
+	for _, c := range cases {
+		if got := c.m.Node().Eval(r); got != c.want {
+			t.Errorf("%v matched=%v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestMetaFilterUnion(t *testing.T) {
+	a := Alarm{
+		Meta: []MetaItem{
+			{flow.FeatSrcIP, uint32(flow.MustParseIP("10.0.0.1"))},
+			{flow.FeatDstPort, 80},
+		},
+	}
+	f := a.MetaFilter()
+	if f == nil {
+		t.Fatal("MetaFilter must not be nil with meta present")
+	}
+	// Record matching only the second item must pass (union semantics).
+	r := &flow.Record{
+		SrcIP: flow.MustParseIP("99.9.9.9"), DstIP: flow.MustParseIP("10.0.0.2"),
+		DstPort: 80, Proto: flow.ProtoTCP, Packets: 1, Bytes: 40,
+	}
+	if !f.Match(r) {
+		t.Fatal("union filter must match on any meta item")
+	}
+	r2 := &flow.Record{
+		SrcIP: flow.MustParseIP("99.9.9.9"), DstIP: flow.MustParseIP("10.0.0.2"),
+		DstPort: 443, Proto: flow.ProtoTCP, Packets: 1, Bytes: 40,
+	}
+	if f.Match(r2) {
+		t.Fatal("filter must reject records matching no meta item")
+	}
+	var empty Alarm
+	if empty.MetaFilter() != nil {
+		t.Fatal("empty meta must produce nil filter")
+	}
+}
+
+func TestAlarmString(t *testing.T) {
+	a := Alarm{
+		Detector: "netreflex",
+		Kind:     KindPortScan,
+		Interval: flow.Interval{Start: 0, End: 300},
+		Score:    12.5,
+		Meta:     []MetaItem{{flow.FeatDstPort, 80}},
+	}
+	s := a.String()
+	for _, want := range []string{"netreflex", "port scan", "dstPort=80", "12.5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Alarm.String %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package flow
+
+import "fmt"
+
+// Feature identifies one of the traffic features over which both the
+// detectors and the itemset miner operate. The paper mines itemsets over the
+// flow 5-tuple; the entropy detectors additionally track the four
+// address/port features per Lakhina et al.
+type Feature uint8
+
+// The mined traffic features, in the column order of the paper's Table 1.
+const (
+	FeatSrcIP Feature = iota
+	FeatDstIP
+	FeatSrcPort
+	FeatDstPort
+	FeatProto
+
+	// NumFeatures is the number of mined features; itemsets therefore have
+	// at most NumFeatures items (one value per feature).
+	NumFeatures = 5
+)
+
+// Features lists all mined features in canonical order.
+func Features() []Feature {
+	return []Feature{FeatSrcIP, FeatDstIP, FeatSrcPort, FeatDstPort, FeatProto}
+}
+
+// EntropyFeatures lists the four features whose empirical distributions the
+// entropy-based detectors track (Lakhina'05 uses exactly these).
+func EntropyFeatures() []Feature {
+	return []Feature{FeatSrcIP, FeatDstIP, FeatSrcPort, FeatDstPort}
+}
+
+// String returns the column-header name used throughout reports ("srcIP",
+// "dstPort", ...), matching the paper's Table 1 headings.
+func (f Feature) String() string {
+	switch f {
+	case FeatSrcIP:
+		return "srcIP"
+	case FeatDstIP:
+		return "dstIP"
+	case FeatSrcPort:
+		return "srcPort"
+	case FeatDstPort:
+		return "dstPort"
+	case FeatProto:
+		return "proto"
+	default:
+		return fmt.Sprintf("feature-%d", uint8(f))
+	}
+}
+
+// ParseFeature parses a feature name as produced by Feature.String.
+func ParseFeature(s string) (Feature, error) {
+	switch s {
+	case "srcIP", "srcip":
+		return FeatSrcIP, nil
+	case "dstIP", "dstip":
+		return FeatDstIP, nil
+	case "srcPort", "srcport":
+		return FeatSrcPort, nil
+	case "dstPort", "dstport":
+		return FeatDstPort, nil
+	case "proto":
+		return FeatProto, nil
+	}
+	return 0, fmt.Errorf("flow: unknown feature %q", s)
+}
+
+// Value extracts the feature's value from a record, widened to uint32 so a
+// single accessor covers addresses, ports and the protocol.
+func (f Feature) Value(r *Record) uint32 {
+	switch f {
+	case FeatSrcIP:
+		return uint32(r.SrcIP)
+	case FeatDstIP:
+		return uint32(r.DstIP)
+	case FeatSrcPort:
+		return uint32(r.SrcPort)
+	case FeatDstPort:
+		return uint32(r.DstPort)
+	case FeatProto:
+		return uint32(r.Proto)
+	default:
+		return 0
+	}
+}
+
+// FormatValue renders a feature value the way an operator reads it:
+// addresses dotted-quad, ports and protocols numeric/mnemonic.
+func (f Feature) FormatValue(v uint32) string {
+	switch f {
+	case FeatSrcIP, FeatDstIP:
+		return IP(v).String()
+	case FeatProto:
+		return Protocol(v).String()
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

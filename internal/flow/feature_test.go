@@ -1,0 +1,62 @@
+package flow
+
+import "testing"
+
+func TestFeatureValue(t *testing.T) {
+	r := sampleRecord()
+	cases := []struct {
+		f    Feature
+		want uint32
+	}{
+		{FeatSrcIP, uint32(r.SrcIP)},
+		{FeatDstIP, uint32(r.DstIP)},
+		{FeatSrcPort, uint32(r.SrcPort)},
+		{FeatDstPort, uint32(r.DstPort)},
+		{FeatProto, uint32(r.Proto)},
+	}
+	for _, c := range cases {
+		if got := c.f.Value(&r); got != c.want {
+			t.Errorf("%v.Value = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestFeatureStringParseRoundTrip(t *testing.T) {
+	for _, f := range Features() {
+		back, err := ParseFeature(f.String())
+		if err != nil || back != f {
+			t.Errorf("round trip of %v failed: %v, %v", f, back, err)
+		}
+	}
+	if _, err := ParseFeature("nonsense"); err == nil {
+		t.Error("ParseFeature accepted nonsense")
+	}
+}
+
+func TestFeatureSets(t *testing.T) {
+	if len(Features()) != NumFeatures {
+		t.Fatalf("Features() has %d entries, want %d", len(Features()), NumFeatures)
+	}
+	if len(EntropyFeatures()) != 4 {
+		t.Fatalf("EntropyFeatures() has %d entries, want 4", len(EntropyFeatures()))
+	}
+	seen := map[Feature]bool{}
+	for _, f := range Features() {
+		if seen[f] {
+			t.Fatalf("duplicate feature %v", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	if got := FeatSrcIP.FormatValue(uint32(MustParseIP("192.0.2.1"))); got != "192.0.2.1" {
+		t.Errorf("srcIP format = %q", got)
+	}
+	if got := FeatDstPort.FormatValue(80); got != "80" {
+		t.Errorf("dstPort format = %q", got)
+	}
+	if got := FeatProto.FormatValue(uint32(ProtoUDP)); got != "udp" {
+		t.Errorf("proto format = %q", got)
+	}
+}

@@ -1,0 +1,143 @@
+// Package flow defines the NetFlow-style flow record model shared by every
+// other package in this repository: IPv4 addresses, the 5-tuple, traffic
+// counters and the traffic features over which anomaly extraction mines.
+//
+// The model matches what the paper's NfDump backend stores for NetFlow v5
+// records (the GEANT and SWITCH deployments both exported v5-era records):
+// IPv4 endpoints, transport ports, protocol, packet/byte/flow counters and
+// a start timestamp. Records additionally carry the ingress point-of-presence
+// (GEANT has 18) and a ground-truth annotation used only by the synthetic
+// evaluation harness.
+package flow
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IP is an IPv4 address in host byte order. The reproduction targets the
+// NetFlow v5 records used in the paper's deployments, which are IPv4-only;
+// a compact integer representation keeps records fixed-size and makes items
+// for frequent itemset mining trivially packable (see internal/itemset).
+type IP uint32
+
+// IPFromOctets assembles an IP from its four dotted-quad octets.
+func IPFromOctets(a, b, c, d byte) IP {
+	return IP(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseIP parses a dotted-quad IPv4 address such as "192.0.2.7".
+func ParseIP(s string) (IP, error) {
+	var parts [4]uint64
+	rest := s
+	for i := 0; i < 4; i++ {
+		var tok string
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("flow: invalid IPv4 address %q", s)
+			}
+			tok, rest = rest[:dot], rest[dot+1:]
+		} else {
+			tok = rest
+		}
+		v, err := strconv.ParseUint(tok, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("flow: invalid IPv4 address %q", s)
+		}
+		parts[i] = v
+	}
+	return IPFromOctets(byte(parts[0]), byte(parts[1]), byte(parts[2]), byte(parts[3])), nil
+}
+
+// MustParseIP is ParseIP that panics on malformed input. It is intended for
+// constants in tests and examples.
+func MustParseIP(s string) IP {
+	ip, err := ParseIP(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// Octets returns the four dotted-quad octets of the address.
+func (ip IP) Octets() (a, b, c, d byte) {
+	return byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)
+}
+
+// String renders the address in dotted-quad form.
+func (ip IP) String() string {
+	a, b, c, d := ip.Octets()
+	// strconv.AppendUint into a stack buffer avoids fmt overhead on hot paths
+	// (record printing dominates large report generation).
+	buf := make([]byte, 0, 15)
+	buf = strconv.AppendUint(buf, uint64(a), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(b), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(c), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(d), 10)
+	return string(buf)
+}
+
+// Prefix is an IPv4 CIDR prefix used by the filter language ("net 10.0.0.0/8")
+// and by anomaly injectors that draw sources from a subnet.
+type Prefix struct {
+	Addr IP
+	Bits int // prefix length, 0..32
+}
+
+// ParsePrefix parses CIDR notation such as "10.1.0.0/16". A bare address is
+// accepted as a /32.
+func ParsePrefix(s string) (Prefix, error) {
+	addr := s
+	bits := 32
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		addr = s[:i]
+		v, err := strconv.Atoi(s[i+1:])
+		if err != nil || v < 0 || v > 32 {
+			return Prefix{}, fmt.Errorf("flow: invalid prefix length in %q", s)
+		}
+		bits = v
+	}
+	ip, err := ParseIP(addr)
+	if err != nil {
+		return Prefix{}, err
+	}
+	p := Prefix{Addr: ip, Bits: bits}
+	return p.Masked(), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on malformed input.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// mask returns the network mask of the prefix as a host-order word.
+func (p Prefix) mask() uint32 {
+	if p.Bits <= 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - uint(p.Bits))
+}
+
+// Masked returns the prefix with host bits zeroed.
+func (p Prefix) Masked() Prefix {
+	return Prefix{Addr: IP(uint32(p.Addr) & p.mask()), Bits: p.Bits}
+}
+
+// Contains reports whether ip falls inside the prefix.
+func (p Prefix) Contains(ip IP) bool {
+	return uint32(ip)&p.mask() == uint32(p.Addr)&p.mask()
+}
+
+// String renders the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return p.Addr.String() + "/" + strconv.Itoa(p.Bits)
+}

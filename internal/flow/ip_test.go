@@ -1,0 +1,133 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseIP(t *testing.T) {
+	cases := []struct {
+		in   string
+		want IP
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"192.0.2.7", IPFromOctets(192, 0, 2, 7), true},
+		{"10.1.2.3", IPFromOctets(10, 1, 2, 3), true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+		{"1..2.3", 0, false},
+		{"-1.0.0.0", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseIP(c.in)
+		if c.ok && err != nil {
+			t.Errorf("ParseIP(%q): unexpected error %v", c.in, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseIP(%q): expected error, got %v", c.in, got)
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseIP(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIPStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IP(v)
+		back, err := ParseIP(ip.String())
+		return err == nil && back == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPOctets(t *testing.T) {
+	ip := MustParseIP("1.2.3.4")
+	a, b, c, d := ip.Octets()
+	if a != 1 || b != 2 || c != 3 || d != 4 {
+		t.Fatalf("Octets() = %d.%d.%d.%d, want 1.2.3.4", a, b, c, d)
+	}
+}
+
+func TestMustParseIPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseIP on bad input did not panic")
+		}
+	}()
+	MustParseIP("not-an-ip")
+}
+
+func TestParsePrefix(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"10.0.0.0/8", "10.0.0.0/8", true},
+		{"10.1.2.3/8", "10.0.0.0/8", true}, // host bits masked
+		{"192.0.2.7", "192.0.2.7/32", true},
+		{"0.0.0.0/0", "0.0.0.0/0", true},
+		{"10.0.0.0/33", "", false},
+		{"10.0.0.0/-1", "", false},
+		{"10.0.0/8", "", false},
+	}
+	for _, c := range cases {
+		got, err := ParsePrefix(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParsePrefix(%q): ok=%v, err=%v", c.in, c.ok, err)
+			continue
+		}
+		if c.ok && got.String() != c.want {
+			t.Errorf("ParsePrefix(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("10.1.0.0/16")
+	if !p.Contains(MustParseIP("10.1.255.1")) {
+		t.Error("10.1.0.0/16 should contain 10.1.255.1")
+	}
+	if p.Contains(MustParseIP("10.2.0.1")) {
+		t.Error("10.1.0.0/16 should not contain 10.2.0.1")
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseIP("203.0.113.9")) {
+		t.Error("/0 should contain everything")
+	}
+	host := MustParsePrefix("192.0.2.1/32")
+	if !host.Contains(MustParseIP("192.0.2.1")) || host.Contains(MustParseIP("192.0.2.2")) {
+		t.Error("/32 should contain exactly its own address")
+	}
+}
+
+func TestPrefixContainsProperty(t *testing.T) {
+	// Every address is contained in its own /32 and in /0.
+	f := func(v uint32) bool {
+		ip := IP(v)
+		return Prefix{Addr: ip, Bits: 32}.Contains(ip) &&
+			Prefix{Addr: 0, Bits: 0}.Contains(ip)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixMaskedIdempotent(t *testing.T) {
+	f := func(v uint32, bits uint8) bool {
+		p := Prefix{Addr: IP(v), Bits: int(bits % 33)}
+		m := p.Masked()
+		return m == m.Masked() && m.Contains(IP(v)) == p.Contains(IP(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

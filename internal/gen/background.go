@@ -1,0 +1,172 @@
+// Package gen generates the synthetic labeled NetFlow traces that stand in
+// for the proprietary GEANT and SWITCH traces of the paper's evaluation
+// (see DESIGN.md §2 for the substitution argument).
+//
+// A Scenario combines a Background traffic model — Zipf-popular hosts and
+// services, heavy-tailed (Pareto) flow sizes, Poisson per-bin flow counts,
+// optional diurnal modulation, traffic spread over the configured
+// points-of-presence — with anomaly Placements: injectors for the anomaly
+// classes the paper's evaluations cover (port scans, network scans, TCP
+// SYN DDoS, point-to-point UDP floods, flash events, and deliberately
+// stealthy variants). Every injected record carries a ground-truth
+// Annotation, which real traces lack and which the evaluation harness
+// scores extraction against.
+//
+// Everything is deterministic under an explicit seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/flow"
+	"repro/internal/stats"
+)
+
+// Background models the benign traffic mix of one backbone network.
+type Background struct {
+	// NumPoPs is the number of ingress points-of-presence traffic is
+	// spread over (GEANT: 18).
+	NumPoPs int
+	// FlowsPerBin is the mean number of background flows per measurement
+	// bin per PoP (Poisson distributed).
+	FlowsPerBin int
+	// Hosts is the client address pool size; Servers the server pool size.
+	// Popularity within both pools is Zipfian.
+	Hosts   int
+	Servers int
+	// Diurnal, when true, modulates per-bin volume with a ±30% sinusoidal
+	// daily pattern (bins are 300 s).
+	Diurnal bool
+}
+
+// DefaultBackground returns the background model used by the evaluation
+// suites: a medium aggregation level that keeps suite runtimes reasonable
+// while preserving heavy-tailed structure.
+func DefaultBackground() Background {
+	return Background{
+		NumPoPs:     4,
+		FlowsPerBin: 400,
+		Hosts:       2000,
+		Servers:     300,
+	}
+}
+
+// validate applies defaults and sanity-checks.
+func (b *Background) validate() error {
+	if b.NumPoPs <= 0 {
+		b.NumPoPs = 1
+	}
+	if b.NumPoPs > 64 {
+		return fmt.Errorf("gen: NumPoPs %d too large (max 64)", b.NumPoPs)
+	}
+	if b.FlowsPerBin <= 0 {
+		b.FlowsPerBin = 400
+	}
+	if b.Hosts <= 0 {
+		b.Hosts = 2000
+	}
+	if b.Servers <= 0 {
+		b.Servers = 300
+	}
+	return nil
+}
+
+// servicePorts is the well-known service mix of the background, most
+// popular first (Zipf-weighted).
+var servicePorts = []uint16{80, 443, 53, 25, 993, 22, 110, 123, 8080, 3389, 445, 21}
+
+// backgroundGen holds the samplers for one generation run.
+type backgroundGen struct {
+	cfg      Background
+	hostZipf *stats.Zipf
+	srvZipf  *stats.Zipf
+	portZipf *stats.Zipf
+}
+
+func newBackgroundGen(cfg Background) *backgroundGen {
+	return &backgroundGen{
+		cfg:      cfg,
+		hostZipf: stats.MustZipf(cfg.Hosts, 1.1),
+		srvZipf:  stats.MustZipf(cfg.Servers, 1.0),
+		portZipf: stats.MustZipf(len(servicePorts), 1.2),
+	}
+}
+
+// hostIP maps a client pool rank to a stable address in 10.0.0.0/8,
+// encoding the PoP in the second octet so per-PoP distributions are
+// structured like a real topology.
+func hostIP(pop, rank int) flow.IP {
+	return flow.IPFromOctets(10, byte(pop), byte(rank>>8), byte(rank))
+}
+
+// serverIP maps a server pool rank to a stable address in 198.18.0.0/15
+// (benchmark space).
+func serverIP(rank int) flow.IP {
+	return flow.IPFromOctets(198, 18, byte(rank>>8), byte(rank))
+}
+
+// emitBin generates one bin's background flows for one PoP.
+func (g *backgroundGen) emitBin(rng *stats.RNG, iv flow.Interval, pop int, binIndex int, emit func(*flow.Record) error) error {
+	mean := float64(g.cfg.FlowsPerBin)
+	if g.cfg.Diurnal {
+		// 288 five-minute bins per day.
+		phase := float64(binIndex%288) / 288
+		mean *= 1 + 0.3*math.Sin(2*math.Pi*phase)
+	}
+	n := rng.Poisson(mean)
+	span := iv.End - iv.Start
+	if span == 0 {
+		span = 1
+	}
+	for i := 0; i < n; i++ {
+		var r flow.Record
+		host := hostIP(pop, g.hostZipf.Rank(rng))
+		server := serverIP(g.srvZipf.Rank(rng))
+		service := servicePorts[g.portZipf.Rank(rng)]
+		ephemeral := uint16(1024 + rng.Intn(64511))
+
+		// ~85% client->server, 15% reverse direction (server responses
+		// exported as separate flows).
+		if rng.Bool(0.85) {
+			r.SrcIP, r.DstIP = host, server
+			r.SrcPort, r.DstPort = ephemeral, service
+		} else {
+			r.SrcIP, r.DstIP = server, host
+			r.SrcPort, r.DstPort = service, ephemeral
+		}
+		switch {
+		case service == 53 || service == 123:
+			r.Proto = flow.ProtoUDP
+		case rng.Bool(0.03):
+			r.Proto = flow.ProtoICMP
+			r.SrcPort, r.DstPort = 0, 0
+		default:
+			r.Proto = flow.ProtoTCP
+			r.Flags = flow.TCPSyn | flow.TCPAck
+			if rng.Bool(0.8) {
+				r.Flags |= flow.TCPPsh | flow.TCPFin
+			}
+		}
+		// Heavy-tailed flow sizes: Pareto(1.3) packets, capped so a single
+		// background flow never looks like a flood.
+		pkts := uint64(rng.Pareto(1.3, 1))
+		if pkts < 1 {
+			pkts = 1
+		}
+		if pkts > 20000 {
+			pkts = 20000
+		}
+		r.Packets = pkts
+		pktSize := 40 + rng.Intn(1460)
+		r.Bytes = pkts * uint64(pktSize)
+		r.Start = iv.Start + uint32(rng.Intn(int(span)))
+		r.Dur = uint32(rng.Exp(5000))
+		r.Router = uint16(pop)
+		r.Anno = flow.AnnoBackground
+		if err := emit(&r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

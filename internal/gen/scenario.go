@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/flow"
+	"repro/internal/nfstore"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+// Placement schedules one anomaly into a scenario bin. The Annotation is
+// assigned by Generate (1 + placement index).
+type Placement struct {
+	Anomaly Anomaly
+	// Bin is the zero-based measurement bin index the anomaly occupies.
+	Bin int
+}
+
+// Scenario is a complete synthetic trace specification.
+type Scenario struct {
+	Background Background
+	// Bins is the number of measurement bins to generate.
+	Bins int
+	// StartTime is the Unix-seconds start, aligned down to the store's
+	// bin width at generation time.
+	StartTime uint32
+	// Seed drives all randomness.
+	Seed uint64
+	// SampleRate, when > 1, applies 1-in-N packet sampling to every
+	// record before storage (the GEANT condition; SWITCH traces were
+	// unsampled, i.e. 1).
+	SampleRate uint32
+	Placements []Placement
+}
+
+// TruthEntry records the ground truth of one placed anomaly.
+type TruthEntry struct {
+	Anno     flow.Annotation
+	Kind     detector.Kind
+	Describe string
+	Interval flow.Interval
+	// Injected counts the anomaly's records before sampling; Stored after
+	// sampling (what the store and therefore the miner can see).
+	InjectedFlows uint64
+	InjectedPkts  uint64
+	StoredFlows   uint64
+	StoredPkts    uint64
+}
+
+// Truth is the scenario ground truth: one entry per placement, in
+// placement order, plus totals.
+type Truth struct {
+	Entries []TruthEntry
+	// Span is the full generated interval.
+	Span flow.Interval
+	// BackgroundFlows counts stored background records.
+	BackgroundFlows uint64
+}
+
+// Entry returns the truth entry with the given annotation, or nil.
+func (t *Truth) Entry(anno flow.Annotation) *TruthEntry {
+	i := int(anno) - 1
+	if i < 0 || i >= len(t.Entries) {
+		return nil
+	}
+	return &t.Entries[i]
+}
+
+// Generate writes the scenario into store and returns the ground truth.
+// The store's bin width defines the measurement bin; StartTime is aligned
+// down to it.
+func (s *Scenario) Generate(store *nfstore.Store) (*Truth, error) {
+	if s.Bins <= 0 {
+		return nil, fmt.Errorf("gen: scenario needs Bins > 0")
+	}
+	if err := s.Background.validate(); err != nil {
+		return nil, err
+	}
+	for i, p := range s.Placements {
+		if p.Anomaly == nil {
+			return nil, fmt.Errorf("gen: placement %d has nil anomaly", i)
+		}
+		if p.Bin < 0 || p.Bin >= s.Bins {
+			return nil, fmt.Errorf("gen: placement %d bin %d outside [0,%d)", i, p.Bin, s.Bins)
+		}
+	}
+	binSec := store.BinSeconds()
+	start := s.StartTime - s.StartTime%binSec
+	truth := &Truth{
+		Span: flow.Interval{Start: start, End: start + uint32(s.Bins)*binSec},
+	}
+
+	rng := stats.NewRNG(s.Seed)
+	var sampler *sampling.Sampler
+	if s.SampleRate > 1 {
+		var err error
+		sampler, err = sampling.New(s.SampleRate, rng.Fork(0xface))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// store-side emit with optional sampling; counters per current sink.
+	var storedFlows, storedPkts *uint64
+	emit := func(r *flow.Record) error {
+		if sampler != nil {
+			sampled, ok := sampler.Apply(r)
+			if !ok {
+				return nil
+			}
+			r = &sampled
+		}
+		if storedFlows != nil {
+			*storedFlows++
+			*storedPkts += r.Packets
+		}
+		return store.Add(r)
+	}
+
+	bg := newBackgroundGen(s.Background)
+	for b := 0; b < s.Bins; b++ {
+		iv := flow.Interval{Start: start + uint32(b)*binSec, End: start + uint32(b+1)*binSec}
+		for pop := 0; pop < s.Background.NumPoPs; pop++ {
+			storedFlows, storedPkts = &truth.BackgroundFlows, new(uint64)
+			binRng := rng.Fork(uint64(b)<<16 | uint64(pop))
+			if err := bg.emitBin(binRng, iv, pop, b, emit); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for i, p := range s.Placements {
+		anno := flow.Annotation(i + 1)
+		iv := flow.Interval{Start: start + uint32(p.Bin)*binSec, End: start + uint32(p.Bin+1)*binSec}
+		entry := TruthEntry{
+			Anno:     anno,
+			Kind:     p.Anomaly.Kind(),
+			Describe: p.Anomaly.Describe(),
+			Interval: iv,
+		}
+		storedFlows, storedPkts = &entry.StoredFlows, &entry.StoredPkts
+		countingEmit := func(r *flow.Record) error {
+			entry.InjectedFlows++
+			entry.InjectedPkts += r.Packets
+			return emit(r)
+		}
+		anomalyRng := rng.Fork(0xa0000 | uint64(i))
+		if err := p.Anomaly.Emit(anomalyRng, iv, anno, countingEmit); err != nil {
+			return nil, err
+		}
+		truth.Entries = append(truth.Entries, entry)
+	}
+	if err := store.Flush(); err != nil {
+		return nil, err
+	}
+	return truth, nil
+}

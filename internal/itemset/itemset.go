@@ -1,0 +1,354 @@
+// Package itemset models flows as transactions for frequent itemset mining,
+// the representation at the heart of the paper's technique: every flow
+// becomes a transaction of five (feature, value) items — srcIP, dstIP,
+// srcPort, dstPort, proto — and an anomaly's flows, sharing a common
+// root cause, share items.
+//
+// Items pack a feature tag and a 32-bit value into one uint64, so itemsets
+// are tiny integer slices, transactions are fixed-size arrays, and support
+// counting never allocates. Identical 5-tuples aggregate into one weighted
+// transaction carrying both support dimensions the extended Apriori mines:
+// flow count and packet count.
+package itemset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/flow"
+)
+
+// Item is one (feature, value) pair packed as feature<<32 | value.
+// Because the feature occupies the high bits and each transaction has
+// exactly one item per feature, a transaction's items are naturally sorted
+// and itemsets over them can use plain integer ordering.
+type Item uint64
+
+// NewItem packs a feature and a value into an Item.
+func NewItem(f flow.Feature, value uint32) Item {
+	return Item(uint64(f)<<32 | uint64(value))
+}
+
+// Feature returns the item's traffic feature.
+func (it Item) Feature() flow.Feature { return flow.Feature(it >> 32) }
+
+// Value returns the item's raw 32-bit value.
+func (it Item) Value() uint32 { return uint32(it) }
+
+// String renders the item as "feature=value" with operator-friendly value
+// formatting ("srcIP=10.191.64.165", "dstPort=80", "proto=tcp").
+func (it Item) String() string {
+	f := it.Feature()
+	return f.String() + "=" + f.FormatValue(it.Value())
+}
+
+// Set is an itemset: a sorted slice of distinct items. The zero value is
+// the empty itemset.
+type Set []Item
+
+// NewSet builds a Set from items in any order, deduplicating.
+func NewSet(items ...Item) Set {
+	s := make(Set, len(items))
+	copy(s, items)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// Dedup in place.
+	out := s[:0]
+	for i, it := range s {
+		if i == 0 || it != s[i-1] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Len returns the number of items.
+func (s Set) Len() int { return len(s) }
+
+// Contains reports whether the set includes item (binary search).
+func (s Set) Contains(it Item) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= it })
+	return i < len(s) && s[i] == it
+}
+
+// SubsetOf reports whether every item of s appears in t. Both sets are
+// sorted, so this is a linear merge.
+func (s Set) SubsetOf(t Set) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	j := 0
+	for _, it := range s {
+		for j < len(t) && t[j] < it {
+			j++
+		}
+		if j >= len(t) || t[j] != it {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// Equal reports whether two sets hold the same items.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the sorted union of s and t.
+func (s Set) Union(t Set) Set {
+	out := make(Set, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// Feature returns the value for feature f, with ok reporting presence.
+// Itemsets never hold two values of one feature, so the lookup is unique.
+func (s Set) Feature(f flow.Feature) (value uint32, ok bool) {
+	for _, it := range s {
+		if it.Feature() == f {
+			return it.Value(), true
+		}
+	}
+	return 0, false
+}
+
+// Key returns a compact string usable as a map key. Two sets have equal
+// keys iff they are Equal.
+func (s Set) Key() string {
+	var b strings.Builder
+	b.Grow(len(s) * 8)
+	for _, it := range s {
+		var raw [8]byte
+		for k := 0; k < 8; k++ {
+			raw[k] = byte(it >> (8 * k))
+		}
+		b.Write(raw[:])
+	}
+	return b.String()
+}
+
+// String renders the itemset as a comma-separated item list in feature
+// order, e.g. "srcIP=10.191.64.165, dstPort=80".
+func (s Set) String() string {
+	if len(s) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// TxItems is the fixed-size item array of one transaction: one item per
+// mined traffic feature, in feature order (which is also sorted Item
+// order).
+type TxItems [flow.NumFeatures]Item
+
+// Tx is one aggregated transaction: a distinct flow 5-tuple with its two
+// support weights. The paper's extended Apriori computes itemset support
+// both in flows and in packets; carrying both on the transaction lets one
+// dataset serve both mining passes.
+type Tx struct {
+	Items   TxItems
+	Flows   uint64
+	Packets uint64
+}
+
+// Weight returns the transaction's weight in the given dimension.
+func (t *Tx) Weight(byPackets bool) uint64 {
+	if byPackets {
+		return t.Packets
+	}
+	return t.Flows
+}
+
+// ItemsOf builds the transaction item array for a flow record.
+func ItemsOf(r *flow.Record) TxItems {
+	var items TxItems
+	for i, f := range flow.Features() {
+		items[i] = NewItem(f, f.Value(r))
+	}
+	return items
+}
+
+// Dataset is a transaction database built from flow records, with
+// identical 5-tuples aggregated. It is immutable once built.
+type Dataset struct {
+	txs          []Tx
+	totalFlows   uint64
+	totalPackets uint64
+}
+
+// FromRecords aggregates flow records into a Dataset. Each distinct
+// 5-tuple becomes one transaction whose Flows weight is the number of
+// records and whose Packets weight is their packet sum.
+func FromRecords(records []flow.Record) *Dataset {
+	idx := make(map[TxItems]int, len(records))
+	ds := &Dataset{}
+	for i := range records {
+		r := &records[i]
+		items := ItemsOf(r)
+		j, ok := idx[items]
+		if !ok {
+			j = len(ds.txs)
+			idx[items] = j
+			ds.txs = append(ds.txs, Tx{Items: items})
+		}
+		ds.txs[j].Flows++
+		ds.txs[j].Packets += r.Packets
+		ds.totalFlows++
+		ds.totalPackets += r.Packets
+	}
+	return ds
+}
+
+// FromTxs builds a Dataset directly from prepared transactions (used by
+// tests and by miners' cross-checks). Transactions are not re-aggregated.
+func FromTxs(txs []Tx) *Dataset {
+	ds := &Dataset{txs: txs}
+	for i := range txs {
+		ds.totalFlows += txs[i].Flows
+		ds.totalPackets += txs[i].Packets
+	}
+	return ds
+}
+
+// Len returns the number of distinct transactions.
+func (ds *Dataset) Len() int { return len(ds.txs) }
+
+// Tx returns the i-th transaction.
+func (ds *Dataset) Tx(i int) *Tx { return &ds.txs[i] }
+
+// TotalFlows returns the summed flow weight (the number of input records).
+func (ds *Dataset) TotalFlows() uint64 { return ds.totalFlows }
+
+// TotalPackets returns the summed packet weight.
+func (ds *Dataset) TotalPackets() uint64 { return ds.totalPackets }
+
+// Total returns the dataset total in the given dimension.
+func (ds *Dataset) Total(byPackets bool) uint64 {
+	if byPackets {
+		return ds.totalPackets
+	}
+	return ds.totalFlows
+}
+
+// Support computes the support of an itemset by a full scan, in the given
+// dimension. Miners keep their own counters; this exists as the oracle the
+// property tests compare against, and for ad-hoc queries.
+func (ds *Dataset) Support(s Set, byPackets bool) uint64 {
+	var sup uint64
+	for i := range ds.txs {
+		tx := &ds.txs[i]
+		if txContains(&tx.Items, s) {
+			sup += tx.Weight(byPackets)
+		}
+	}
+	return sup
+}
+
+// txContains reports whether a transaction's items include every item of s.
+// Transactions hold one item per feature in feature order, so each itemset
+// item can be checked by direct feature indexing.
+func txContains(items *TxItems, s Set) bool {
+	for _, it := range s {
+		if items[int(it.Feature())] != it {
+			return false
+		}
+	}
+	return true
+}
+
+// Match reports whether transaction items contain itemset s (exported form
+// of the containment predicate shared by the miners).
+func Match(items *TxItems, s Set) bool { return txContains(items, s) }
+
+// Frequent is a mined itemset with its support in the mining dimension.
+type Frequent struct {
+	Items   Set
+	Support uint64
+}
+
+// String renders "itemset (support=N)".
+func (f Frequent) String() string {
+	return fmt.Sprintf("%s (support=%d)", f.Items, f.Support)
+}
+
+// SortFrequent orders mined itemsets canonically: by descending support,
+// then by descending length (more specific first), then lexicographically.
+// Both miners emit this order so results are directly comparable.
+func SortFrequent(fs []Frequent) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Support != fs[j].Support {
+			return fs[i].Support > fs[j].Support
+		}
+		if len(fs[i].Items) != len(fs[j].Items) {
+			return len(fs[i].Items) > len(fs[j].Items)
+		}
+		a, b := fs[i].Items, fs[j].Items
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// MaximalOnly filters fs down to maximal itemsets: sets with no frequent
+// proper superset in fs. The paper reports maximal itemsets to the
+// operator — subsets restate the same flows with less detail. Input order
+// is irrelevant; output is canonically sorted.
+func MaximalOnly(fs []Frequent) []Frequent {
+	out := make([]Frequent, 0, len(fs))
+	for i := range fs {
+		maximal := true
+		for j := range fs {
+			if i == j {
+				continue
+			}
+			if len(fs[j].Items) > len(fs[i].Items) && fs[i].Items.SubsetOf(fs[j].Items) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, fs[i])
+		}
+	}
+	SortFrequent(out)
+	return out
+}

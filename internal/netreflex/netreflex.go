@@ -1,0 +1,401 @@
+// Package netreflex simulates the commercial anomaly detection system of
+// the paper's GEANT deployment (NetReflex by Guavus). The paper describes
+// it as a detector "based on a well-known anomaly detector [Lakhina'05]
+// using Principal Component Analysis" that flags anomalies "on the basis
+// of volume and IP features entropy variations" and "provides fine-grained
+// meta-data often at the level of individual IPs and port numbers".
+//
+// Accordingly, this package wraps the PCA subspace detector
+// (internal/pca) and adds the two behaviours the paper attributes to
+// NetReflex:
+//
+//   - classification: each alarm is labeled port scan / network scan /
+//     (D)DoS / UDP flood by inspecting the structure of the flows in the
+//     flagged interval; and
+//
+//   - fine-grained but DELIBERATELY NARROW meta-data: only the single
+//     dominant traffic signature is reported (e.g. one scanner's srcIP,
+//     dstIP and srcPort). The paper's Table 1 and its 26-28% statistics
+//     hinge on exactly this behaviour — a concurrent second scanner or
+//     DDoS on the same target is NOT included in the meta-data, and it is
+//     the frequent-itemset extraction step that recovers it.
+package netreflex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/detector"
+	"repro/internal/flow"
+	"repro/internal/nfstore"
+	"repro/internal/pca"
+)
+
+// Config tunes the classification heuristics.
+type Config struct {
+	// PCA configures the underlying subspace detector; zero value means
+	// pca.DefaultConfig.
+	PCA *pca.Config
+	// ScanPorts is the minimum number of distinct destination ports the
+	// dominant host pair must touch to classify as a port scan.
+	ScanPorts int
+	// ScanHosts is the minimum number of distinct destination hosts a
+	// single source must touch (on a dominant port) to classify as a
+	// network scan.
+	ScanHosts int
+	// DDoSSources is the minimum number of distinct sources hitting one
+	// destination (on a dominant port) to classify as a distributed DoS.
+	DDoSSources int
+	// FloodPackets is the minimum renormalized packet count of the
+	// dominant host pair to classify as a (point-to-point) flood.
+	FloodPackets uint64
+	// DominantShare is the traffic share a signature must hold among the
+	// interval's flows for its endpoints to be reported as meta-data.
+	DominantShare float64
+	// ChangeFactor is how much a signature's volume must exceed its own
+	// volume in the preceding bin to classify. Popular background servers
+	// permanently have many distinct clients; an anomaly is a CHANGE, so
+	// classification is relative to the baseline bin.
+	ChangeFactor float64
+}
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		ScanPorts:     100,
+		ScanHosts:     100,
+		DDoSSources:   50,
+		FloodPackets:  500_000,
+		DominantShare: 0.05,
+		ChangeFactor:  5,
+	}
+}
+
+// Detector is the simulated NetReflex.
+type Detector struct {
+	cfg Config
+	pca *pca.Detector
+}
+
+// New builds the detector.
+func New(cfg Config) (*Detector, error) {
+	if cfg.ScanPorts <= 0 {
+		cfg.ScanPorts = 100
+	}
+	if cfg.ScanHosts <= 0 {
+		cfg.ScanHosts = 100
+	}
+	if cfg.DDoSSources <= 0 {
+		cfg.DDoSSources = 50
+	}
+	if cfg.FloodPackets == 0 {
+		cfg.FloodPackets = 500_000
+	}
+	if cfg.DominantShare <= 0 || cfg.DominantShare > 1 {
+		cfg.DominantShare = 0.05
+	}
+	if cfg.ChangeFactor <= 1 {
+		cfg.ChangeFactor = 5
+	}
+	pcfg := pca.DefaultConfig()
+	if cfg.PCA != nil {
+		pcfg = *cfg.PCA
+	}
+	inner, err := pca.New(pcfg)
+	if err != nil {
+		return nil, fmt.Errorf("netreflex: %w", err)
+	}
+	return &Detector{cfg: cfg, pca: inner}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Detector {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name implements detector.Detector.
+func (d *Detector) Name() string { return "netreflex" }
+
+// Detect implements detector.Detector: run the subspace detector, then
+// classify each alarm and replace its meta-data with the dominant
+// signature's fine-grained items.
+func (d *Detector) Detect(store *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
+	raw, err := d.pca.Detect(store, span)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.Alarm, 0, len(raw))
+	for _, a := range raw {
+		kind, meta, err := d.classify(store, a.Interval)
+		if err != nil {
+			return nil, err
+		}
+		a.Detector = d.Name()
+		a.Kind = kind
+		if len(meta) > 0 {
+			a.Meta = meta
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// pairKey identifies a (srcIP, dstIP) pair.
+type pairKey struct {
+	src, dst flow.IP
+}
+
+// intervalStats aggregates the structure of one interval's flows.
+type intervalStats struct {
+	totalFlows uint64
+
+	pairFlows   map[pairKey]uint64
+	pairPackets map[pairKey]uint64
+	pairPorts   map[pairKey]map[uint16]struct{}  // distinct dstPorts per pair
+	pairSrcPort map[pairKey]map[uint16]uint64    // srcPort flow counts per pair
+	pairProto   map[pairKey]flow.Protocol        // last proto seen per pair
+	srcDsts     map[flow.IP]map[flow.IP]struct{} // distinct dstIPs per src
+	srcFlows    map[flow.IP]uint64
+	srcDstPort  map[flow.IP]map[uint16]uint64    // dstPort flow counts per src
+	dstSrcs     map[flow.IP]map[flow.IP]struct{} // distinct srcIPs per dst
+	dstFlows    map[flow.IP]uint64
+	dstDstPort  map[flow.IP]map[uint16]uint64 // dstPort flow counts per dst
+}
+
+// gatherStats aggregates the structure of one interval's flows.
+func gatherStats(store *nfstore.Store, iv flow.Interval) (*intervalStats, error) {
+	st := &intervalStats{
+		pairFlows:   map[pairKey]uint64{},
+		pairPackets: map[pairKey]uint64{},
+		pairPorts:   map[pairKey]map[uint16]struct{}{},
+		pairSrcPort: map[pairKey]map[uint16]uint64{},
+		pairProto:   map[pairKey]flow.Protocol{},
+		srcDsts:     map[flow.IP]map[flow.IP]struct{}{},
+		srcFlows:    map[flow.IP]uint64{},
+		srcDstPort:  map[flow.IP]map[uint16]uint64{},
+		dstSrcs:     map[flow.IP]map[flow.IP]struct{}{},
+		dstFlows:    map[flow.IP]uint64{},
+		dstDstPort:  map[flow.IP]map[uint16]uint64{},
+	}
+	err := store.Query(iv, nil, func(r *flow.Record) error {
+		st.totalFlows++
+		pk := pairKey{src: r.SrcIP, dst: r.DstIP}
+		st.pairFlows[pk]++
+		st.pairPackets[pk] += r.Packets
+		st.pairProto[pk] = r.Proto
+		addSet16(st.pairPorts, pk, r.DstPort)
+		addCount16(st.pairSrcPort, pk, r.SrcPort)
+		addSetIP(st.srcDsts, r.SrcIP, r.DstIP)
+		st.srcFlows[r.SrcIP]++
+		addCountIP16(st.srcDstPort, r.SrcIP, r.DstPort)
+		addSetIP(st.dstSrcs, r.DstIP, r.SrcIP)
+		st.dstFlows[r.DstIP]++
+		addCountIP16(st.dstDstPort, r.DstIP, r.DstPort)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// classify inspects the flows of the flagged interval — relative to the
+// preceding baseline bin — and derives the anomaly kind plus the dominant
+// signature's meta-data.
+func (d *Detector) classify(store *nfstore.Store, iv flow.Interval) (detector.Kind, []detector.MetaItem, error) {
+	st, err := gatherStats(store, iv)
+	if err != nil {
+		return detector.KindUnknown, nil, err
+	}
+	if st.totalFlows == 0 {
+		return detector.KindUnknown, nil, nil
+	}
+	// Baseline: the preceding bin (zero stats when the alarm is the first
+	// bin on disk — every signature then counts as new).
+	span := iv.End - iv.Start
+	base := &intervalStats{}
+	if iv.Start >= span {
+		base, err = gatherStats(store, flow.Interval{Start: iv.Start - span, End: iv.Start})
+		if err != nil {
+			return detector.KindUnknown, nil, err
+		}
+	}
+	spiked := func(now, before uint64) bool {
+		return float64(now) >= d.cfg.ChangeFactor*float64(before)
+	}
+
+	// 1. Port scan: the dominant pair touches many distinct destination
+	// ports. Meta mirrors the paper's example: srcIP, dstIP and (when one
+	// source port dominates) srcPort — dstPort is wildcarded.
+	if pk, ok := topPairByFlows(st); ok {
+		ports := len(st.pairPorts[pk])
+		if ports >= d.cfg.ScanPorts && d.dominant(st.pairFlows[pk], st.totalFlows) &&
+			spiked(st.pairFlows[pk], base.pairFlows[pk]) {
+			meta := []detector.MetaItem{
+				{Feature: flow.FeatSrcIP, Value: uint32(pk.src)},
+				{Feature: flow.FeatDstIP, Value: uint32(pk.dst)},
+			}
+			if sp, ok := dominantKey16(st.pairSrcPort[pk], st.pairFlows[pk]); ok {
+				meta = append(meta, detector.MetaItem{Feature: flow.FeatSrcPort, Value: uint32(sp)})
+			}
+			return detector.KindPortScan, meta, nil
+		}
+	}
+
+	// 2. Network scan: one source touches many destinations on a dominant
+	// port.
+	if src, ok := topKeyByCount(st.srcFlows); ok {
+		if len(st.srcDsts[src]) >= d.cfg.ScanHosts && d.dominant(st.srcFlows[src], st.totalFlows) &&
+			spiked(st.srcFlows[src], base.srcFlows[src]) {
+			meta := []detector.MetaItem{{Feature: flow.FeatSrcIP, Value: uint32(src)}}
+			if dp, ok := dominantKey16(st.srcDstPort[src], st.srcFlows[src]); ok {
+				meta = append(meta, detector.MetaItem{Feature: flow.FeatDstPort, Value: uint32(dp)})
+			}
+			return detector.KindNetScan, meta, nil
+		}
+	}
+
+	// 3. DDoS: one destination is hit by many sources on a dominant port.
+	if dst, ok := topKeyByCount(st.dstFlows); ok {
+		if len(st.dstSrcs[dst]) >= d.cfg.DDoSSources && d.dominant(st.dstFlows[dst], st.totalFlows) &&
+			spiked(st.dstFlows[dst], base.dstFlows[dst]) {
+			meta := []detector.MetaItem{{Feature: flow.FeatDstIP, Value: uint32(dst)}}
+			if dp, ok := dominantKey16(st.dstDstPort[dst], st.dstFlows[dst]); ok {
+				meta = append(meta, detector.MetaItem{Feature: flow.FeatDstPort, Value: uint32(dp)})
+			}
+			return detector.KindDDoS, meta, nil
+		}
+	}
+
+	// 4. Point-to-point flood: the dominant pair by packets moves flood-
+	// scale packet volume. UDP floods are the class the paper calls out
+	// as frequent in GEANT.
+	if pk, ok := topPairByPackets(st); ok {
+		if st.pairPackets[pk] >= d.cfg.FloodPackets &&
+			spiked(st.pairPackets[pk], base.pairPackets[pk]) {
+			meta := []detector.MetaItem{
+				{Feature: flow.FeatSrcIP, Value: uint32(pk.src)},
+				{Feature: flow.FeatDstIP, Value: uint32(pk.dst)},
+			}
+			kind := detector.KindDoS
+			if st.pairProto[pk] == flow.ProtoUDP {
+				kind = detector.KindUDPFlood
+			}
+			return kind, meta, nil
+		}
+	}
+
+	return detector.KindUnknown, nil, nil
+}
+
+// dominant reports whether count is a dominant share of total.
+func (d *Detector) dominant(count, total uint64) bool {
+	return float64(count) >= d.cfg.DominantShare*float64(total)
+}
+
+// ---- small aggregation helpers (deterministic tie-breaks throughout) ----
+
+func addSet16(m map[pairKey]map[uint16]struct{}, k pairKey, v uint16) {
+	s := m[k]
+	if s == nil {
+		s = map[uint16]struct{}{}
+		m[k] = s
+	}
+	s[v] = struct{}{}
+}
+
+func addCount16(m map[pairKey]map[uint16]uint64, k pairKey, v uint16) {
+	s := m[k]
+	if s == nil {
+		s = map[uint16]uint64{}
+		m[k] = s
+	}
+	s[v]++
+}
+
+func addSetIP(m map[flow.IP]map[flow.IP]struct{}, k, v flow.IP) {
+	s := m[k]
+	if s == nil {
+		s = map[flow.IP]struct{}{}
+		m[k] = s
+	}
+	s[v] = struct{}{}
+}
+
+func addCountIP16(m map[flow.IP]map[uint16]uint64, k flow.IP, v uint16) {
+	s := m[k]
+	if s == nil {
+		s = map[uint16]uint64{}
+		m[k] = s
+	}
+	s[v]++
+}
+
+func topPairByFlows(st *intervalStats) (pairKey, bool) {
+	return topPair(st.pairFlows)
+}
+
+func topPairByPackets(st *intervalStats) (pairKey, bool) {
+	return topPair(st.pairPackets)
+}
+
+func topPair(m map[pairKey]uint64) (pairKey, bool) {
+	var best pairKey
+	var bestCount uint64
+	found := false
+	keys := make([]pairKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	for _, k := range keys {
+		if m[k] > bestCount {
+			best, bestCount, found = k, m[k], true
+		}
+	}
+	return best, found
+}
+
+func topKeyByCount(m map[flow.IP]uint64) (flow.IP, bool) {
+	var best flow.IP
+	var bestCount uint64
+	found := false
+	keys := make([]flow.IP, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if m[k] > bestCount {
+			best, bestCount, found = k, m[k], true
+		}
+	}
+	return best, found
+}
+
+// dominantKey16 returns the key holding at least 60% of total, if any.
+func dominantKey16(m map[uint16]uint64, total uint64) (uint16, bool) {
+	if total == 0 {
+		return 0, false
+	}
+	keys := make([]uint16, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if float64(m[k]) >= 0.6*float64(total) {
+			return k, true
+		}
+	}
+	return 0, false
+}

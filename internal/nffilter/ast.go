@@ -1,0 +1,391 @@
+package nffilter
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/flow"
+)
+
+// Node is a filter AST node. Nodes evaluate against a flow record and can
+// render themselves back to parseable filter syntax (Parse(n.String()) is
+// semantically equal to n — a property the tests check).
+type Node interface {
+	// Eval reports whether the record matches.
+	Eval(r *flow.Record) bool
+	// String renders the node in filter syntax.
+	String() string
+}
+
+// Dir selects which endpoint(s) of a record an address/port predicate
+// inspects.
+type Dir int
+
+// Direction qualifiers: nfdump's "src", "dst", or unqualified (either side).
+const (
+	DirEither Dir = iota
+	DirSrc
+	DirDst
+)
+
+func (d Dir) prefix() string {
+	switch d {
+	case DirSrc:
+		return "src "
+	case DirDst:
+		return "dst "
+	default:
+		return ""
+	}
+}
+
+// CmpOp is a numeric comparison operator.
+type CmpOp int
+
+// Comparison operators accepted after counter fields and ports.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+func (op CmpOp) apply(a, b uint64) bool {
+	switch op {
+	case CmpEq:
+		return a == b
+	case CmpNe:
+		return a != b
+	case CmpLt:
+		return a < b
+	case CmpLe:
+		return a <= b
+	case CmpGt:
+		return a > b
+	case CmpGe:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// parseCmp maps comparison token text to an operator.
+func parseCmp(text string) (CmpOp, bool) {
+	switch text {
+	case "=", "==":
+		return CmpEq, true
+	case "!=":
+		return CmpNe, true
+	case "<":
+		return CmpLt, true
+	case "<=":
+		return CmpLe, true
+	case ">":
+		return CmpGt, true
+	case ">=":
+		return CmpGe, true
+	}
+	return 0, false
+}
+
+// And matches when every child matches. An empty And matches everything
+// (it renders as "any").
+type And struct{ Kids []Node }
+
+// Eval implements Node.
+func (n *And) Eval(r *flow.Record) bool {
+	for _, k := range n.Kids {
+		if !k.Eval(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *And) String() string {
+	if len(n.Kids) == 0 {
+		return "any"
+	}
+	parts := make([]string, len(n.Kids))
+	for i, k := range n.Kids {
+		parts[i] = parenthesize(k, false)
+	}
+	return strings.Join(parts, " and ")
+}
+
+// Or matches when any child matches. An empty Or matches nothing.
+type Or struct{ Kids []Node }
+
+// Eval implements Node.
+func (n *Or) Eval(r *flow.Record) bool {
+	for _, k := range n.Kids {
+		if k.Eval(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Or) String() string {
+	if len(n.Kids) == 0 {
+		return "not any"
+	}
+	parts := make([]string, len(n.Kids))
+	for i, k := range n.Kids {
+		parts[i] = parenthesize(k, true)
+	}
+	return strings.Join(parts, " or ")
+}
+
+// parenthesize wraps child in parentheses when needed to preserve
+// precedence in rendered output (or-children of and, and and-children never
+// need wrapping under or).
+func parenthesize(k Node, underOr bool) string {
+	if _, isOr := k.(*Or); isOr && !underOr {
+		return "(" + k.String() + ")"
+	}
+	return k.String()
+}
+
+// Not inverts its child.
+type Not struct{ Kid Node }
+
+// Eval implements Node.
+func (n *Not) Eval(r *flow.Record) bool { return !n.Kid.Eval(r) }
+
+func (n *Not) String() string {
+	switch n.Kid.(type) {
+	case *And, *Or:
+		return "not (" + n.Kid.String() + ")"
+	default:
+		return "not " + n.Kid.String()
+	}
+}
+
+// Any matches every record ("any" in filter syntax).
+type Any struct{}
+
+// Eval implements Node.
+func (Any) Eval(*flow.Record) bool { return true }
+func (Any) String() string         { return "any" }
+
+// IPMatch matches an exact address on the selected side(s).
+type IPMatch struct {
+	Dir  Dir
+	Addr flow.IP
+}
+
+// Eval implements Node.
+func (n *IPMatch) Eval(r *flow.Record) bool {
+	switch n.Dir {
+	case DirSrc:
+		return r.SrcIP == n.Addr
+	case DirDst:
+		return r.DstIP == n.Addr
+	default:
+		return r.SrcIP == n.Addr || r.DstIP == n.Addr
+	}
+}
+
+func (n *IPMatch) String() string { return n.Dir.prefix() + "ip " + n.Addr.String() }
+
+// NetMatch matches a CIDR prefix on the selected side(s).
+type NetMatch struct {
+	Dir    Dir
+	Prefix flow.Prefix
+}
+
+// Eval implements Node.
+func (n *NetMatch) Eval(r *flow.Record) bool {
+	switch n.Dir {
+	case DirSrc:
+		return n.Prefix.Contains(r.SrcIP)
+	case DirDst:
+		return n.Prefix.Contains(r.DstIP)
+	default:
+		return n.Prefix.Contains(r.SrcIP) || n.Prefix.Contains(r.DstIP)
+	}
+}
+
+func (n *NetMatch) String() string { return n.Dir.prefix() + "net " + n.Prefix.String() }
+
+// PortMatch compares a port on the selected side(s) with Op against Port.
+// With DirEither the node matches when either side satisfies the
+// comparison, mirroring nfdump.
+type PortMatch struct {
+	Dir  Dir
+	Op   CmpOp
+	Port uint16
+}
+
+// Eval implements Node.
+func (n *PortMatch) Eval(r *flow.Record) bool {
+	switch n.Dir {
+	case DirSrc:
+		return n.Op.apply(uint64(r.SrcPort), uint64(n.Port))
+	case DirDst:
+		return n.Op.apply(uint64(r.DstPort), uint64(n.Port))
+	default:
+		return n.Op.apply(uint64(r.SrcPort), uint64(n.Port)) ||
+			n.Op.apply(uint64(r.DstPort), uint64(n.Port))
+	}
+}
+
+func (n *PortMatch) String() string {
+	if n.Op == CmpEq {
+		return fmt.Sprintf("%sport %d", n.Dir.prefix(), n.Port)
+	}
+	return fmt.Sprintf("%sport %s %d", n.Dir.prefix(), n.Op, n.Port)
+}
+
+// ProtoMatch matches the IP protocol.
+type ProtoMatch struct{ Proto flow.Protocol }
+
+// Eval implements Node.
+func (n *ProtoMatch) Eval(r *flow.Record) bool { return r.Proto == n.Proto }
+
+// String renders known protocols by mnemonic and others numerically, so
+// the output always reparses ("proto tcp", "proto 47").
+func (n *ProtoMatch) String() string {
+	switch n.Proto {
+	case flow.ProtoTCP, flow.ProtoUDP, flow.ProtoICMP:
+		return "proto " + n.Proto.String()
+	default:
+		return fmt.Sprintf("proto %d", uint8(n.Proto))
+	}
+}
+
+// CounterField names a numeric record field usable in comparisons.
+type CounterField int
+
+// Counter fields accepted by the language.
+const (
+	FieldPackets CounterField = iota
+	FieldBytes
+	FieldDuration // milliseconds
+	FieldRouter
+)
+
+func (f CounterField) String() string {
+	switch f {
+	case FieldPackets:
+		return "packets"
+	case FieldBytes:
+		return "bytes"
+	case FieldDuration:
+		return "duration"
+	case FieldRouter:
+		return "router"
+	default:
+		return "?"
+	}
+}
+
+func (f CounterField) value(r *flow.Record) uint64 {
+	switch f {
+	case FieldPackets:
+		return r.Packets
+	case FieldBytes:
+		return r.Bytes
+	case FieldDuration:
+		return uint64(r.Dur)
+	case FieldRouter:
+		return uint64(r.Router)
+	default:
+		return 0
+	}
+}
+
+// CounterMatch compares a numeric record field against a constant.
+type CounterMatch struct {
+	Field CounterField
+	Op    CmpOp
+	Value uint64
+}
+
+// Eval implements Node.
+func (n *CounterMatch) Eval(r *flow.Record) bool {
+	return n.Op.apply(n.Field.value(r), n.Value)
+}
+
+func (n *CounterMatch) String() string {
+	return fmt.Sprintf("%s %s %d", n.Field, n.Op, n.Value)
+}
+
+// FlagsMatch matches records whose cumulative TCP flags include every flag
+// in Mask ("flags S" matches any record with SYN set, possibly among
+// others, like nfdump).
+type FlagsMatch struct{ Mask uint8 }
+
+// Eval implements Node.
+func (n *FlagsMatch) Eval(r *flow.Record) bool { return r.Flags&n.Mask == n.Mask }
+
+func (n *FlagsMatch) String() string { return "flags " + formatFlags(n.Mask) }
+
+// flagLetters maps nfdump flag letters to bits, in render order.
+var flagLetters = []struct {
+	letter byte
+	bit    uint8
+}{
+	{'U', flow.TCPUrg}, {'A', flow.TCPAck}, {'P', flow.TCPPsh},
+	{'R', flow.TCPRst}, {'S', flow.TCPSyn}, {'F', flow.TCPFin},
+}
+
+func formatFlags(mask uint8) string {
+	var b strings.Builder
+	for _, fl := range flagLetters {
+		if mask&fl.bit != 0 {
+			b.WriteByte(fl.letter)
+		}
+	}
+	if b.Len() == 0 {
+		return "0"
+	}
+	return b.String()
+}
+
+// parseFlags parses a flag letter string such as "SA". It accepts lower
+// case because the lexer lowercases words.
+func parseFlags(s string) (uint8, bool) {
+	var mask uint8
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case 'u', 'U':
+			mask |= flow.TCPUrg
+		case 'a', 'A':
+			mask |= flow.TCPAck
+		case 'p', 'P':
+			mask |= flow.TCPPsh
+		case 'r', 'R':
+			mask |= flow.TCPRst
+		case 's', 'S':
+			mask |= flow.TCPSyn
+		case 'f', 'F':
+			mask |= flow.TCPFin
+		default:
+			return 0, false
+		}
+	}
+	return mask, true
+}

@@ -1,0 +1,174 @@
+// Package nffilter implements the nfdump-style flow filter language used by
+// the store and the extraction GUI: expressions such as
+//
+//	src ip 10.191.64.165 and dst port 80
+//	(proto udp and packets > 1000000) or dst net 10.13.0.0/16
+//	not flags S
+//
+// are parsed into an AST and compiled into predicates over flow records.
+// The paper's system is backed by NfDump; this package is its query-language
+// substitute, and it is also how extracted itemsets are turned back into
+// flow drill-down queries for the operator.
+package nffilter
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF    tokenKind = iota
+	tokWord             // keywords and bare values: src, ip, tcp, S
+	tokNumber           // 80, 1000000
+	tokAddr             // 10.1.2.3
+	tokCIDR             // 10.0.0.0/8
+	tokLParen
+	tokRParen
+	tokCmp // < > <= >= = == !=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokWord:
+		return "word"
+	case tokNumber:
+		return "number"
+	case tokAddr:
+		return "address"
+	case tokCIDR:
+		return "prefix"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokCmp:
+		return "comparison"
+	default:
+		return "unknown token"
+	}
+}
+
+// token is one lexeme with its source position (byte offset) for error
+// reporting.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits a filter expression into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// SyntaxError reports where parsing a filter failed and why.
+type SyntaxError struct {
+	Input  string
+	Offset int
+	Msg    string
+}
+
+// Error renders the failure with a caret-style offset.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("nffilter: %s at offset %d in %q", e.Msg, e.Offset, e.Input)
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Input: l.src, Offset: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || isDigit(c) || c == '_' || c == '-'
+}
+
+// next returns the next token, advancing the lexer.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '<' || c == '>' || c == '=' || c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		} else if c == '!' {
+			return token{}, l.errf(start, "expected '=' after '!'")
+		}
+		return token{kind: tokCmp, text: l.src[start:l.pos], pos: start}, nil
+	case isDigit(c):
+		// Number, address, or CIDR: scan digits, dots and a slash.
+		dots, slash := 0, false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if isDigit(ch) {
+				l.pos++
+				continue
+			}
+			if ch == '.' && !slash {
+				dots++
+				l.pos++
+				continue
+			}
+			if ch == '/' && dots == 3 && !slash {
+				slash = true
+				l.pos++
+				continue
+			}
+			break
+		}
+		text := l.src[start:l.pos]
+		switch {
+		case slash:
+			return token{kind: tokCIDR, text: text, pos: start}, nil
+		case dots == 3:
+			return token{kind: tokAddr, text: text, pos: start}, nil
+		case dots == 0:
+			return token{kind: tokNumber, text: text, pos: start}, nil
+		default:
+			return token{}, l.errf(start, "malformed address %q", text)
+		}
+	case isWordChar(c):
+		for l.pos < len(l.src) && isWordChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokWord, text: strings.ToLower(l.src[start:l.pos]), pos: start}, nil
+	default:
+		return token{}, l.errf(start, "unexpected character %q", string(c))
+	}
+}
+
+// lexAll tokenizes the whole input; used by the parser, which wants one
+// token of lookahead over a materialized slice.
+func lexAll(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package nffilter
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/stats"
+)
+
+// randomNode builds a random filter AST of bounded depth. It exercises
+// every node type the language can print.
+func randomNode(rng *stats.RNG, depth int) Node {
+	if depth <= 0 || rng.Bool(0.4) {
+		return randomLeaf(rng)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		n := 2 + rng.Intn(2)
+		kids := make([]Node, n)
+		for i := range kids {
+			kids[i] = randomNode(rng, depth-1)
+		}
+		return &And{Kids: kids}
+	case 1:
+		n := 2 + rng.Intn(2)
+		kids := make([]Node, n)
+		for i := range kids {
+			kids[i] = randomNode(rng, depth-1)
+		}
+		return &Or{Kids: kids}
+	default:
+		return &Not{Kid: randomNode(rng, depth-1)}
+	}
+}
+
+func randomLeaf(rng *stats.RNG) Node {
+	dirs := []Dir{DirEither, DirSrc, DirDst}
+	ops := []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe}
+	switch rng.Intn(7) {
+	case 0:
+		return &IPMatch{Dir: dirs[rng.Intn(3)], Addr: flow.IP(rng.Uint32() % 1024)}
+	case 1:
+		return &NetMatch{Dir: dirs[rng.Intn(3)],
+			Prefix: flow.Prefix{Addr: flow.IP(rng.Uint32()), Bits: rng.Intn(33)}.Masked()}
+	case 2:
+		return &PortMatch{Dir: dirs[rng.Intn(3)], Op: ops[rng.Intn(len(ops))],
+			Port: uint16(rng.Intn(2048))}
+	case 3:
+		protos := []flow.Protocol{flow.ProtoTCP, flow.ProtoUDP, flow.ProtoICMP, flow.Protocol(47)}
+		return &ProtoMatch{Proto: protos[rng.Intn(len(protos))]}
+	case 4:
+		fields := []CounterField{FieldPackets, FieldBytes, FieldDuration, FieldRouter}
+		return &CounterMatch{Field: fields[rng.Intn(len(fields))],
+			Op: ops[rng.Intn(len(ops))], Value: uint64(rng.Intn(1000))}
+	case 5:
+		return &FlagsMatch{Mask: uint8(rng.Intn(64))}
+	default:
+		return Any{}
+	}
+}
+
+// randomRecord draws a record from a small value space so filters match
+// with reasonable probability.
+func randomRecord(rng *stats.RNG) flow.Record {
+	protos := []flow.Protocol{flow.ProtoTCP, flow.ProtoUDP, flow.ProtoICMP}
+	pk := uint64(rng.Intn(900) + 1)
+	return flow.Record{
+		Start: 100, Dur: uint32(rng.Intn(1000)),
+		SrcIP: flow.IP(rng.Uint32() % 1024), DstIP: flow.IP(rng.Uint32() % 1024),
+		SrcPort: uint16(rng.Intn(2048)), DstPort: uint16(rng.Intn(2048)),
+		Proto: protos[rng.Intn(3)], Flags: uint8(rng.Intn(64)),
+		Router: uint16(rng.Intn(8)), Packets: pk, Bytes: pk * 40,
+	}
+}
+
+// TestRandomASTRoundTrip: for random ASTs, rendering to filter syntax and
+// reparsing must preserve semantics over random records. This pins down
+// precedence handling and parenthesization for every node combination.
+func TestRandomASTRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(20)
+	for trial := 0; trial < 300; trial++ {
+		tree := randomNode(rng, 3)
+		src := tree.String()
+		parsed, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: rendered filter %q does not reparse: %v", trial, src, err)
+		}
+		for probe := 0; probe < 50; probe++ {
+			r := randomRecord(rng)
+			if tree.Eval(&r) != parsed.Match(&r) {
+				t.Fatalf("trial %d: semantics diverge after round trip\nfilter: %q\nrecord: %+v",
+					trial, src, r)
+			}
+		}
+	}
+}
+
+// TestRandomASTDoubleRoundTrip: rendering the reparsed AST again must be
+// a fixed point (the printer is canonical).
+func TestRandomASTDoubleRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(21)
+	for trial := 0; trial < 200; trial++ {
+		tree := randomNode(rng, 3)
+		first, err := Parse(tree.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := Parse(first.String())
+		if err != nil {
+			t.Fatalf("trial %d: second parse failed: %v", trial, err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("trial %d: printer not canonical:\n%q\n%q",
+				trial, first.String(), second.String())
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package nfstore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flow"
+	"repro/internal/nffilter"
+)
+
+// Weight selects the volume dimension an aggregation accumulates. The
+// extended Apriori of the paper mines support in flows and in packets;
+// byte weighting is provided for completeness (nfdump offers all three).
+type Weight int
+
+// Aggregation weights.
+const (
+	ByFlows Weight = iota
+	ByPackets
+	ByBytes
+)
+
+// String names the weight dimension ("flows", "packets", "bytes").
+func (w Weight) String() string {
+	switch w {
+	case ByFlows:
+		return "flows"
+	case ByPackets:
+		return "packets"
+	case ByBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("weight-%d", int(w))
+	}
+}
+
+// Of returns the record's value along the weight dimension.
+func (w Weight) Of(r *flow.Record) uint64 {
+	switch w {
+	case ByFlows:
+		return 1
+	case ByPackets:
+		return r.Packets
+	case ByBytes:
+		return r.Bytes
+	default:
+		return 0
+	}
+}
+
+// KeyCount is one row of a TopN aggregation.
+type KeyCount struct {
+	Value uint32 // the feature value (IP, port or protocol, widened)
+	Count uint64 // accumulated weight
+}
+
+// TopN aggregates matching records by a single traffic feature and returns
+// the k heaviest values — nfdump's "-s" statistic, which the paper's GUI
+// surfaces next to extracted itemsets.
+func (s *Store) TopN(iv flow.Interval, filter *nffilter.Filter, feat flow.Feature, weight Weight, k int) ([]KeyCount, error) {
+	acc := make(map[uint32]uint64)
+	err := s.Query(iv, filter, func(r *flow.Record) error {
+		acc[feat.Value(r)] += weight.Of(r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]KeyCount, 0, len(acc))
+	for v, c := range acc {
+		rows = append(rows, KeyCount{Value: v, Count: c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Value < rows[j].Value
+	})
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	return rows, nil
+}
+
+// BinSummary is the per-bin traffic volume triple used by detectors that
+// track volume metrics alongside feature distributions.
+type BinSummary struct {
+	Bin     flow.Interval
+	Flows   uint64
+	Packets uint64
+	Bytes   uint64
+}
+
+// Summaries returns one BinSummary per on-disk bin overlapping iv, in time
+// order. Bins with no matching records still produce a (zero) summary so
+// time series stay gap-free for the detectors.
+func (s *Store) Summaries(iv flow.Interval, filter *nffilter.Filter) ([]BinSummary, error) {
+	bins, err := s.Bins()
+	if err != nil {
+		return nil, err
+	}
+	var out []BinSummary
+	for _, bin := range bins {
+		seg := flow.Interval{Start: bin, End: bin + s.binSeconds}
+		if !seg.Overlaps(iv) {
+			continue
+		}
+		sum := BinSummary{Bin: seg}
+		err := s.Query(seg, filter, func(r *flow.Record) error {
+			sum.Flows++
+			sum.Packets += r.Packets
+			sum.Bytes += r.Bytes
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sum)
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+// Package nfstore is the repository's NfDump substitute: a time-binned,
+// append-only store of flow records in fixed-layout binary segment files.
+// The paper's extraction system keeps its flow archive in NfDump and
+// queries it per alarm interval with a filter expression; this package
+// provides exactly that contract (plus the top-N aggregations the GUI
+// shows), with one segment file per measurement bin, so an alarm's
+// interval maps to a handful of sequential file scans.
+package nfstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/flow"
+)
+
+// RecordSize is the fixed on-disk size of one encoded flow record.
+const RecordSize = 42
+
+// segMagic starts every segment file ("NFSG" little-endian).
+const segMagic = 0x4753464e
+
+// segVersion is the current segment format version.
+const segVersion = 1
+
+// segHeaderSize is the fixed segment header: magic(4) version(2)
+// reserved(2) binStart(4) binSeconds(4).
+const segHeaderSize = 16
+
+// encodeRecord packs r into buf, which must be at least RecordSize bytes.
+// The layout is little-endian and position-fixed so that segment files are
+// seekable by record index.
+func encodeRecord(buf []byte, r *flow.Record) {
+	_ = buf[RecordSize-1] // bounds hint
+	binary.LittleEndian.PutUint32(buf[0:], r.Start)
+	binary.LittleEndian.PutUint32(buf[4:], r.Dur)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(r.SrcIP))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(r.DstIP))
+	binary.LittleEndian.PutUint16(buf[16:], r.SrcPort)
+	binary.LittleEndian.PutUint16(buf[18:], r.DstPort)
+	buf[20] = byte(r.Proto)
+	buf[21] = r.Flags
+	binary.LittleEndian.PutUint16(buf[22:], r.Router)
+	binary.LittleEndian.PutUint16(buf[24:], uint16(r.Anno))
+	binary.LittleEndian.PutUint64(buf[26:], r.Packets)
+	binary.LittleEndian.PutUint64(buf[34:], r.Bytes)
+}
+
+// decodeRecord unpacks a record from buf (at least RecordSize bytes).
+func decodeRecord(buf []byte, r *flow.Record) {
+	_ = buf[RecordSize-1]
+	r.Start = binary.LittleEndian.Uint32(buf[0:])
+	r.Dur = binary.LittleEndian.Uint32(buf[4:])
+	r.SrcIP = flow.IP(binary.LittleEndian.Uint32(buf[8:]))
+	r.DstIP = flow.IP(binary.LittleEndian.Uint32(buf[12:]))
+	r.SrcPort = binary.LittleEndian.Uint16(buf[16:])
+	r.DstPort = binary.LittleEndian.Uint16(buf[18:])
+	r.Proto = flow.Protocol(buf[20])
+	r.Flags = buf[21]
+	r.Router = binary.LittleEndian.Uint16(buf[22:])
+	r.Anno = flow.Annotation(binary.LittleEndian.Uint16(buf[24:]))
+	r.Packets = binary.LittleEndian.Uint64(buf[26:])
+	r.Bytes = binary.LittleEndian.Uint64(buf[34:])
+}
+
+// encodeSegHeader writes a segment header for the bin starting at binStart.
+func encodeSegHeader(buf []byte, binStart, binSeconds uint32) {
+	_ = buf[segHeaderSize-1]
+	binary.LittleEndian.PutUint32(buf[0:], segMagic)
+	binary.LittleEndian.PutUint16(buf[4:], segVersion)
+	binary.LittleEndian.PutUint16(buf[6:], 0)
+	binary.LittleEndian.PutUint32(buf[8:], binStart)
+	binary.LittleEndian.PutUint32(buf[12:], binSeconds)
+}
+
+// decodeSegHeader validates and unpacks a segment header.
+func decodeSegHeader(buf []byte) (binStart, binSeconds uint32, err error) {
+	if len(buf) < segHeaderSize {
+		return 0, 0, fmt.Errorf("nfstore: short segment header (%d bytes)", len(buf))
+	}
+	if got := binary.LittleEndian.Uint32(buf[0:]); got != segMagic {
+		return 0, 0, fmt.Errorf("nfstore: bad segment magic %#x", got)
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:]); v != segVersion {
+		return 0, 0, fmt.Errorf("nfstore: unsupported segment version %d", v)
+	}
+	return binary.LittleEndian.Uint32(buf[8:]), binary.LittleEndian.Uint32(buf[12:]), nil
+}

@@ -1,0 +1,73 @@
+package nfstore
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+// TestConcurrentWriterAndReaders exercises the documented concurrency
+// contract: one writer appending while readers query flushed data. Run
+// with -race in CI.
+func TestConcurrentWriterAndReaders(t *testing.T) {
+	s := newTestStore(t)
+	// Seed one flushed bin so readers always have data.
+	for i := 0; i < 100; i++ {
+		r := testRecord(uint32(i), byte(i), 80, 1)
+		if err := s.Add(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writer: keeps appending to later bins and flushing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			r := testRecord(uint32(1000+i), byte(i), 443, 2)
+			if err := s.Add(&r); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%50 == 0 {
+				if err := s.Flush(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		close(stop)
+	}()
+
+	// Readers: query the stable first bin repeatedly.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				flows, _, _, err := s.Count(flow.Interval{Start: 0, End: 300}, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if flows < 100 {
+					t.Errorf("reader saw %d flows in the flushed bin, want >= 100", flows)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

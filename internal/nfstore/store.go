@@ -1,0 +1,333 @@
+package nfstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/flow"
+	"repro/internal/nffilter"
+)
+
+// DefaultBinSeconds is the measurement bin used when none is configured:
+// 300 s, the 5-minute NetFlow aggregation both GEANT and SWITCH used.
+const DefaultBinSeconds = 300
+
+// metaFile holds store-level metadata next to the segments.
+const metaFile = "store.json"
+
+// segPrefix names segment files "nfcapd.<binStart>" after nfdump's capture
+// files.
+const segPrefix = "nfcapd."
+
+// storeMeta is the persisted store configuration.
+type storeMeta struct {
+	Version    int    `json:"version"`
+	BinSeconds uint32 `json:"bin_seconds"`
+}
+
+// Store is a directory of time-binned flow segments. It is safe for
+// concurrent use: one writer goroutine and any number of readers (reads
+// observe everything flushed before the read began).
+type Store struct {
+	dir        string
+	binSeconds uint32
+
+	mu   sync.RWMutex
+	open map[uint32]*segWriter // open segment writers by bin start
+}
+
+// segWriter is an append handle to one segment file.
+type segWriter struct {
+	f   *os.File
+	buf *bufio.Writer
+	n   int // records written
+}
+
+// Create initializes a new store in dir (created if missing; must not
+// already contain a store) with the given bin width in seconds.
+func Create(dir string, binSeconds uint32) (*Store, error) {
+	if binSeconds == 0 {
+		binSeconds = DefaultBinSeconds
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("nfstore: create %s: %w", dir, err)
+	}
+	metaPath := filepath.Join(dir, metaFile)
+	if _, err := os.Stat(metaPath); err == nil {
+		return nil, fmt.Errorf("nfstore: store already exists in %s", dir)
+	}
+	meta := storeMeta{Version: 1, BinSeconds: binSeconds}
+	raw, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("nfstore: encode meta: %w", err)
+	}
+	if err := os.WriteFile(metaPath, raw, 0o644); err != nil {
+		return nil, fmt.Errorf("nfstore: write meta: %w", err)
+	}
+	return &Store{dir: dir, binSeconds: binSeconds, open: map[uint32]*segWriter{}}, nil
+}
+
+// Open opens an existing store directory.
+func Open(dir string) (*Store, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, fmt.Errorf("nfstore: open %s: %w", dir, err)
+	}
+	var meta storeMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, fmt.Errorf("nfstore: parse meta: %w", err)
+	}
+	if meta.BinSeconds == 0 {
+		return nil, errors.New("nfstore: meta has zero bin size")
+	}
+	return &Store{dir: dir, binSeconds: meta.BinSeconds, open: map[uint32]*segWriter{}}, nil
+}
+
+// BinSeconds returns the store's measurement bin width.
+func (s *Store) BinSeconds() uint32 { return s.binSeconds }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// binStart returns the start of the bin containing t.
+func (s *Store) binStart(t uint32) uint32 { return t - t%s.binSeconds }
+
+// Bin returns the interval of the measurement bin containing t.
+func (s *Store) Bin(t uint32) flow.Interval {
+	start := s.binStart(t)
+	return flow.Interval{Start: start, End: start + s.binSeconds}
+}
+
+// segPath returns the segment file path for a bin start.
+func (s *Store) segPath(binStart uint32) string {
+	return filepath.Join(s.dir, segPrefix+strconv.FormatUint(uint64(binStart), 10))
+}
+
+// Add appends a record, routing it to the segment of its start-time bin.
+// Invalid records are rejected rather than silently stored.
+func (s *Store) Add(r *flow.Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	bin := s.binStart(r.Start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.open[bin]
+	if !ok {
+		var err error
+		w, err = s.openSegment(bin)
+		if err != nil {
+			return err
+		}
+		s.open[bin] = w
+	}
+	var buf [RecordSize]byte
+	encodeRecord(buf[:], r)
+	if _, err := w.buf.Write(buf[:]); err != nil {
+		return fmt.Errorf("nfstore: append to bin %d: %w", bin, err)
+	}
+	w.n++
+	return nil
+}
+
+// AddAll appends a batch of records, stopping at the first error.
+func (s *Store) AddAll(rs []flow.Record) error {
+	for i := range rs {
+		if err := s.Add(&rs[i]); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// openSegment opens (creating or appending) the segment for a bin.
+// Caller holds s.mu.
+func (s *Store) openSegment(bin uint32) (*segWriter, error) {
+	path := s.segPath(bin)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("nfstore: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nfstore: stat segment: %w", err)
+	}
+	w := &segWriter{f: f, buf: bufio.NewWriterSize(f, 1<<16)}
+	if st.Size() == 0 {
+		var hdr [segHeaderSize]byte
+		encodeSegHeader(hdr[:], bin, s.binSeconds)
+		if _, err := w.buf.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("nfstore: write segment header: %w", err)
+		}
+	}
+	return w, nil
+}
+
+// Flush forces buffered appends to disk so that subsequent queries see
+// them. It keeps segments open for further appends.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for bin, w := range s.open {
+		if err := w.buf.Flush(); err != nil {
+			return fmt.Errorf("nfstore: flush bin %d: %w", bin, err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes all open segments. The store remains usable for
+// queries and further appends (segments reopen on demand).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for bin, w := range s.open {
+		if err := w.buf.Flush(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("nfstore: flush bin %d: %w", bin, err)
+		}
+		if err := w.f.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("nfstore: close bin %d: %w", bin, err)
+		}
+		delete(s.open, bin)
+	}
+	return firstErr
+}
+
+// Bins lists the bin start times present on disk, ascending.
+func (s *Store) Bins() ([]uint32, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("nfstore: list %s: %w", s.dir, err)
+	}
+	var bins []uint32
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(name, segPrefix), 10, 32)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		bins = append(bins, uint32(v))
+	}
+	sort.Slice(bins, func(i, j int) bool { return bins[i] < bins[j] })
+	return bins, nil
+}
+
+// Span returns the interval covered by the segments on disk (from the
+// first bin's start to the last bin's end). ok is false for an empty store.
+func (s *Store) Span() (iv flow.Interval, ok bool, err error) {
+	bins, err := s.Bins()
+	if err != nil || len(bins) == 0 {
+		return flow.Interval{}, false, err
+	}
+	return flow.Interval{Start: bins[0], End: bins[len(bins)-1] + s.binSeconds}, true, nil
+}
+
+// ErrStopIteration can be returned by a Query callback to end iteration
+// early without reporting an error to the caller.
+var ErrStopIteration = errors.New("nfstore: stop iteration")
+
+// Query streams every record whose start time falls in iv and which
+// matches filter (nil means all) to fn, in bin order. The *flow.Record
+// passed to fn is reused between calls: copy it if it must outlive fn.
+func (s *Store) Query(iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
+	bins, err := s.Bins()
+	if err != nil {
+		return err
+	}
+	var rec flow.Record
+	buf := make([]byte, RecordSize)
+	for _, bin := range bins {
+		seg := flow.Interval{Start: bin, End: bin + s.binSeconds}
+		if !seg.Overlaps(iv) {
+			continue
+		}
+		if err := s.scanSegment(bin, buf, &rec, iv, filter, fn); err != nil {
+			if errors.Is(err, ErrStopIteration) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// scanSegment streams one segment file through fn.
+func (s *Store) scanSegment(bin uint32, buf []byte, rec *flow.Record, iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
+	f, err := os.Open(s.segPath(bin))
+	if err != nil {
+		return fmt.Errorf("nfstore: open segment %d: %w", bin, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return fmt.Errorf("nfstore: segment %d header: %w", bin, err)
+	}
+	gotBin, gotBinSec, err := decodeSegHeader(hdr)
+	if err != nil {
+		return fmt.Errorf("nfstore: segment %d: %w", bin, err)
+	}
+	if gotBin != bin || gotBinSec != s.binSeconds {
+		return fmt.Errorf("nfstore: segment %d header mismatch (bin %d, width %d)", bin, gotBin, gotBinSec)
+	}
+	for {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return fmt.Errorf("nfstore: segment %d truncated", bin)
+			}
+			return fmt.Errorf("nfstore: segment %d read: %w", bin, err)
+		}
+		decodeRecord(buf, rec)
+		if !iv.Contains(rec.Start) {
+			continue
+		}
+		if filter != nil && !filter.Match(rec) {
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// Records collects matching records into a slice. Convenience wrapper over
+// Query for callers (like the miner) that need random access.
+func (s *Store) Records(iv flow.Interval, filter *nffilter.Filter) ([]flow.Record, error) {
+	var out []flow.Record
+	err := s.Query(iv, filter, func(r *flow.Record) error {
+		out = append(out, *r)
+		return nil
+	})
+	return out, err
+}
+
+// Count returns the number of matching flow records and their packet and
+// byte totals — the three volume dimensions the paper's miner weights
+// itemsets by.
+func (s *Store) Count(iv flow.Interval, filter *nffilter.Filter) (flows, packets, bytes uint64, err error) {
+	err = s.Query(iv, filter, func(r *flow.Record) error {
+		flows++
+		packets += r.Packets
+		bytes += r.Bytes
+		return nil
+	})
+	return flows, packets, bytes, err
+}

@@ -1,0 +1,171 @@
+// Package stats provides the deterministic random sampling and
+// distribution/entropy machinery shared by the trace generator and the
+// anomaly detectors: a seedable RNG with independent substreams, bounded
+// Zipf and Pareto samplers (heavy-tailed backbone traffic), empirical
+// distributions, Shannon entropy and Kullback-Leibler divergence, and
+// streaming moment estimators.
+//
+// Everything here is purposely deterministic: the paper's evaluation is
+// re-run as a benchmark suite, and bit-for-bit reproducibility of the
+// synthetic GEANT/SWITCH stand-in traces is what makes the reported
+// numbers auditable.
+package stats
+
+import "math"
+
+// RNG is a small, fast, seedable pseudo-random generator (SplitMix64).
+// It is NOT cryptographically secure; it exists so that every synthetic
+// trace and every experiment is reproducible from an explicit seed, and so
+// that substreams (per anomaly, per PoP) can be forked without correlation.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent substream labeled by label. Records drawn
+// from a fork do not correlate with the parent stream, so injectors can be
+// added or removed without perturbing background traffic.
+func (r *RNG) Fork(label uint64) *RNG {
+	// Mix the label through one SplitMix64 round of a copy of the state.
+	x := r.state + 0x9e3779b97f4a7c15*(label+1)
+	x = mix64(x)
+	return &RNG{state: x}
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint32 returns 32 uniformly random bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	// Guard against log(0).
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Norm returns a normally distributed value (Box-Muller) with the given
+// mean and standard deviation.
+func (r *RNG) Norm(mean, sd float64) float64 {
+	u1 := r.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + sd*z
+}
+
+// Pareto returns a Pareto(shape alpha, scale xm) value: the canonical
+// heavy-tailed model for flow sizes in backbone traffic. alpha <= 1 yields
+// infinite mean; the generator uses alpha in (1, 2) so totals stay finite
+// while the tail still produces elephant flows.
+func (r *RNG) Pareto(alpha, xm float64) float64 {
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// Knuth's method for small means and a normal approximation above 64 (the
+// generator only needs per-bin flow counts, where the approximation error
+// is far below the background noise).
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := r.Norm(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Binomial returns a Binomial(n, p) count. Packet sampling thins each
+// flow's packet count binomially; n can reach millions for flood flows, so
+// a normal approximation kicks in when n*p(1-p) is large enough.
+func (r *RNG) Binomial(n uint64, p float64) uint64 {
+	if n == 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	nf := float64(n)
+	if v := nf * p * (1 - p); v >= 25 {
+		// Normal approximation with continuity correction.
+		g := r.Norm(nf*p, math.Sqrt(v))
+		if g < 0 {
+			return 0
+		}
+		if g > nf {
+			return n
+		}
+		return uint64(g + 0.5)
+	}
+	if nf*p < 25 && p < 0.1 {
+		// Poisson approximation for rare events keeps this O(np).
+		k := uint64(r.Poisson(nf * p))
+		if k > n {
+			return n
+		}
+		return k
+	}
+	var k uint64
+	for i := uint64(0); i < n; i++ {
+		if r.Float64() < p {
+			k++
+		}
+	}
+	return k
+}

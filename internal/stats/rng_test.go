@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield identical streams")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds coincided %d times in 1000 draws", same)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(7)
+	f1 := r.Fork(1)
+	f2 := r.Fork(2)
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forks with different labels must differ")
+	}
+	// Forking must not consume parent state.
+	before := NewRNG(7).Uint64()
+	r2 := NewRNG(7)
+	_ = r2.Fork(99)
+	if r2.Uint64() != before {
+		t.Fatal("Fork must not advance the parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("Intn(10) never produced %d in 10000 draws", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(2)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5)
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("Exp(5) sample mean = %v", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(3)
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		w.Add(r.Norm(10, 2))
+	}
+	if math.Abs(w.Mean()-10) > 0.05 {
+		t.Fatalf("Norm mean = %v", w.Mean())
+	}
+	if math.Abs(w.Std()-2) > 0.05 {
+		t.Fatalf("Norm std = %v", w.Std())
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := NewRNG(4)
+	const n = 100000
+	const alpha, xm = 1.5, 1.0
+	exceed := 0
+	for i := 0; i < n; i++ {
+		v := r.Pareto(alpha, xm)
+		if v < xm {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+		if v > 10 {
+			exceed++
+		}
+	}
+	// P(X > 10) = (xm/10)^alpha ≈ 0.0316.
+	got := float64(exceed) / n
+	if math.Abs(got-0.0316) > 0.005 {
+		t.Fatalf("Pareto tail P(X>10) = %v, want ≈ 0.0316", got)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(5)
+	for _, mean := range []float64{0.5, 4, 32, 200} {
+		var w Welford
+		for i := 0; i < 50000; i++ {
+			w.Add(float64(r.Poisson(mean)))
+		}
+		if math.Abs(w.Mean()-mean) > mean*0.05+0.05 {
+			t.Fatalf("Poisson(%v) sample mean = %v", mean, w.Mean())
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Fatal("non-positive mean must yield 0")
+	}
+}
+
+func TestBinomialMeanAndBounds(t *testing.T) {
+	r := NewRNG(6)
+	cases := []struct {
+		n uint64
+		p float64
+	}{
+		{100, 0.5},      // exact path
+		{1000, 0.01},    // Poisson path
+		{1000000, 0.01}, // normal path (sampling 1/100 of a flood flow)
+	}
+	for _, c := range cases {
+		var w Welford
+		for i := 0; i < 20000; i++ {
+			k := r.Binomial(c.n, c.p)
+			if k > c.n {
+				t.Fatalf("Binomial(%d,%v) = %d exceeds n", c.n, c.p, k)
+			}
+			w.Add(float64(k))
+		}
+		want := float64(c.n) * c.p
+		if math.Abs(w.Mean()-want) > want*0.05+0.1 {
+			t.Fatalf("Binomial(%d,%v) mean = %v, want ≈ %v", c.n, c.p, w.Mean(), want)
+		}
+	}
+	if r.Binomial(0, 0.5) != 0 || r.Binomial(10, 0) != 0 {
+		t.Fatal("degenerate binomials must be 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Fatal("p=1 must return n")
+	}
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("n=0 must error")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Error("negative s must error")
+	}
+	if _, err := NewZipf(10, math.NaN()); err == nil {
+		t.Error("NaN s must error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustZipf must panic on bad input")
+		}
+	}()
+	MustZipf(0, 1)
+}
+
+func TestZipfRankDistribution(t *testing.T) {
+	z := MustZipf(100, 1.0)
+	r := NewRNG(11)
+	counts := make([]int, 100)
+	const n = 300000
+	for i := 0; i < n; i++ {
+		rank := z.Rank(r)
+		if rank < 0 || rank >= 100 {
+			t.Fatalf("rank out of bounds: %d", rank)
+		}
+		counts[rank]++
+	}
+	// Empirical frequencies should match Prob within sampling noise for the
+	// popular ranks.
+	for i := 0; i < 5; i++ {
+		got := float64(counts[i]) / n
+		want := z.Prob(i)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("rank %d frequency %v, want ≈ %v", i, got, want)
+		}
+	}
+	// Rank 0 must dominate rank 99 decisively for s=1.
+	if counts[0] < counts[99]*10 {
+		t.Fatalf("rank 0 (%d) should dwarf rank 99 (%d)", counts[0], counts[99])
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := MustZipf(1000, 1.2)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(z.N()) != 0 {
+		t.Fatal("out-of-range Prob must be 0")
+	}
+}
+
+func TestZipfUniformSpecialCase(t *testing.T) {
+	// s=0 degenerates to uniform.
+	z := MustZipf(50, 0)
+	for i := 0; i < 50; i++ {
+		if math.Abs(z.Prob(i)-0.02) > 1e-9 {
+			t.Fatalf("s=0 Prob(%d) = %v, want 0.02", i, z.Prob(i))
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package rootcause is the public API of the anomaly root-cause analysis
+// system reproduced from "Automating Root-Cause Analysis of Network
+// Anomalies using Frequent Itemset Mining" (Paredes-Oliva et al.,
+// SIGCOMM 2010).
+//
+// It wires together the components of the paper's Figure 1 architecture:
+//
+//	detectors ──▶ alarm DB ──▶ extraction engine ◀──▶ flow store (NfDump)
+//	                               │
+//	                               ▼
+//	                     ranked itemsets (Table 1)
+//
+// A System owns a flow store (internal/nfstore, the NfDump substitute)
+// and an alarm database. Detectors — the histogram/KL detector of Kind et
+// al., the PCA subspace detector of Lakhina et al., or the simulated
+// NetReflex — scan the store and file alarms; Extract runs the paper's
+// extended Apriori (dual flow/packet support, self-tuning minimum
+// support) for one alarm and returns the ranked itemsets summarizing the
+// anomalous flows, each carrying a drill-down filter for the raw flows.
+//
+// See examples/ for runnable end-to-end programs and DESIGN.md for the
+// system inventory.
+package rootcause
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alarmdb"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/flow"
+	"repro/internal/histogram"
+	"repro/internal/netreflex"
+	"repro/internal/nffilter"
+	"repro/internal/nfstore"
+	"repro/internal/pca"
+)
+
+// Re-exported types: the façade exposes the domain vocabulary without
+// forcing users through internal package paths.
+type (
+	// Record is one NetFlow-style flow record.
+	Record = flow.Record
+	// Interval is a half-open time window in Unix seconds.
+	Interval = flow.Interval
+	// Alarm is a detector alarm with meta-data.
+	Alarm = detector.Alarm
+	// Result is a full extraction outcome; Result.Table() renders the
+	// paper's Table 1 shape.
+	Result = core.Result
+	// ItemsetReport is one ranked itemset row.
+	ItemsetReport = core.ItemsetReport
+	// ExtractionOptions configures the extended-Apriori engine.
+	ExtractionOptions = core.Options
+	// AlarmEntry is a stored alarm with its operator workflow status.
+	AlarmEntry = alarmdb.Entry
+)
+
+// DefaultExtractionOptions returns the engine defaults used throughout
+// the paper reproduction.
+func DefaultExtractionOptions() ExtractionOptions { return core.DefaultOptions() }
+
+// Config configures Open/Create.
+type Config struct {
+	// StoreDir is the flow store directory.
+	StoreDir string
+	// BinSeconds is the measurement bin width for Create (default 300 s,
+	// the 5-minute NetFlow bins of the paper's deployments).
+	BinSeconds uint32
+	// AlarmDBPath persists alarms as JSON; empty keeps alarms in memory.
+	AlarmDBPath string
+	// Extraction overrides the extraction engine options (nil = default).
+	Extraction *ExtractionOptions
+}
+
+// System is the assembled root-cause analysis system of Figure 1.
+type System struct {
+	store  *nfstore.Store
+	alarms *alarmdb.DB
+	ex     *core.Extractor
+}
+
+// Create initializes a new system with a fresh flow store in
+// cfg.StoreDir.
+func Create(cfg Config) (*System, error) {
+	store, err := nfstore.Create(cfg.StoreDir, cfg.BinSeconds)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(store, cfg)
+}
+
+// Open opens a system over an existing flow store.
+func Open(cfg Config) (*System, error) {
+	store, err := nfstore.Open(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(store, cfg)
+}
+
+func assemble(store *nfstore.Store, cfg Config) (*System, error) {
+	var db *alarmdb.DB
+	if cfg.AlarmDBPath != "" {
+		var err error
+		db, err = alarmdb.Open(cfg.AlarmDBPath)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	} else {
+		db = alarmdb.New()
+	}
+	opts := core.DefaultOptions()
+	if cfg.Extraction != nil {
+		opts = *cfg.Extraction
+	}
+	ex, err := core.New(store, opts)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return &System{store: store, alarms: db, ex: ex}, nil
+}
+
+// Store exposes the underlying flow store for ingest and ad-hoc queries.
+func (s *System) Store() *nfstore.Store { return s.store }
+
+// AddFlows ingests a batch of flow records.
+func (s *System) AddFlows(records []Record) error {
+	if err := s.store.AddAll(records); err != nil {
+		return err
+	}
+	return s.store.Flush()
+}
+
+// Close flushes and closes the store and persists the alarm database.
+func (s *System) Close() error {
+	err := s.alarms.Save()
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// DetectorNames lists the detectors Detect accepts.
+func DetectorNames() []string { return []string{"netreflex", "histogram", "pca"} }
+
+// newDetector builds a named detector with its default configuration.
+func newDetector(name string) (detector.Detector, error) {
+	switch name {
+	case "netreflex", "":
+		return netreflex.New(netreflex.DefaultConfig())
+	case "histogram":
+		return histogram.New(histogram.DefaultConfig())
+	case "pca":
+		return pca.New(pca.DefaultConfig())
+	default:
+		return nil, fmt.Errorf("rootcause: unknown detector %q (have %v)", name, DetectorNames())
+	}
+}
+
+// Detect runs the named detector ("netreflex", "histogram" or "pca") over
+// the span, stores the alarms in the alarm database and returns their
+// IDs.
+func (s *System) Detect(detectorName string, span Interval) ([]string, error) {
+	det, err := newDetector(detectorName)
+	if err != nil {
+		return nil, err
+	}
+	alarms, err := det.Detect(s.store, span)
+	if err != nil {
+		return nil, err
+	}
+	return s.alarms.InsertAll(alarms), nil
+}
+
+// FileAlarm stores an externally produced alarm (the paper's system
+// integrates "with any anomaly detection system that provides these
+// data") and returns its ID.
+func (s *System) FileAlarm(a Alarm) string { return s.alarms.Insert(a) }
+
+// Alarms returns the stored alarms overlapping iv (all statuses).
+func (s *System) Alarms(iv Interval) []AlarmEntry {
+	return s.alarms.Query(iv, "")
+}
+
+// Alarm returns one stored alarm by ID.
+func (s *System) Alarm(id string) (AlarmEntry, error) { return s.alarms.Get(id) }
+
+// ErrNoUsefulItemsets is returned by Validate-style helpers; exported so
+// operators can branch on it.
+var ErrNoUsefulItemsets = errors.New("rootcause: extraction produced no itemsets")
+
+// Extract runs anomaly extraction for a stored alarm and marks it
+// analyzed. The result's Table() renders the operator view.
+func (s *System) Extract(alarmID string) (*Result, error) {
+	entry, err := s.alarms.Get(alarmID)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.ex.Extract(&entry.Alarm)
+	if err != nil {
+		return nil, err
+	}
+	note := fmt.Sprintf("%d itemsets", len(res.Itemsets))
+	if err := s.alarms.SetStatus(alarmID, alarmdb.StatusAnalyzed, note); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ExtractAlarm runs extraction for an ad-hoc alarm without storing it.
+func (s *System) ExtractAlarm(a *Alarm) (*Result, error) {
+	return s.ex.Extract(a)
+}
+
+// SetVerdict records the operator's validation verdict for an alarm.
+func (s *System) SetVerdict(alarmID string, validated bool, note string) error {
+	status := alarmdb.StatusValidated
+	if !validated {
+		status = alarmdb.StatusRejected
+	}
+	return s.alarms.SetStatus(alarmID, status, note)
+}
+
+// Flows returns the raw flow records of an interval matching an
+// nfdump-style filter expression ("src ip 10.0.0.1 and dst port 80");
+// empty filter returns everything. This is the GUI's drill-down: the
+// paper's operator can "investigate the flows of any returned itemset".
+func (s *System) Flows(iv Interval, filterExpr string) ([]Record, error) {
+	var f *nffilter.Filter
+	if filterExpr != "" {
+		var err error
+		f, err = nffilter.Parse(filterExpr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.store.Records(iv, f)
+}
+
+// ItemsetFlows returns the raw flows behind one extracted itemset row.
+func (s *System) ItemsetFlows(iv Interval, rep *ItemsetReport) ([]Record, error) {
+	return s.store.Records(iv, rep.Filter())
+}
