@@ -1,0 +1,388 @@
+package rootcause_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	rootcause "repro"
+	"repro/internal/detector"
+	"repro/internal/flow"
+	"repro/internal/nfstore"
+)
+
+// fakeDetector is an out-of-package detector implementation: the
+// registry's reason to exist.
+type fakeDetector struct {
+	name   string
+	alarms []rootcause.Alarm
+}
+
+func (d *fakeDetector) Name() string { return d.name }
+
+func (d *fakeDetector) Detect(ctx context.Context, _ *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]detector.Alarm, 0, len(d.alarms))
+	for _, a := range d.alarms {
+		if a.Interval.Overlaps(span) {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// newEmptySystem builds a system over an empty store.
+func newEmptySystem(t *testing.T) *rootcause.System {
+	t.Helper()
+	sys, err := rootcause.Create(rootcause.Config{StoreDir: filepath.Join(t.TempDir(), "flows")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	return sys
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := rootcause.DetectorNames()
+	for _, want := range []string{"histogram", "netreflex", "pca"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("built-in %q missing from %v", want, names)
+		}
+	}
+}
+
+func TestRegisterDetectorExternal(t *testing.T) {
+	iv := rootcause.Interval{Start: 300, End: 600}
+	det := &fakeDetector{
+		name: "external-test-ids",
+		alarms: []rootcause.Alarm{
+			{Detector: "external-test-ids", Interval: iv, Kind: detector.KindDoS},
+		},
+	}
+	if err := rootcause.RegisterDetector(det.name, func(cfg any) (rootcause.Detector, error) {
+		return det, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sys := newEmptySystem(t)
+	ids, err := sys.Detect(t.Context(), det.name, rootcause.Interval{Start: 0, End: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("external detector filed %d alarms, want 1", len(ids))
+	}
+	entry, err := sys.Alarm(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Alarm.Kind != detector.KindDoS {
+		t.Fatalf("stored alarm = %+v", entry.Alarm)
+	}
+	// And it shows up in the listing.
+	listed := false
+	for _, n := range rootcause.DetectorNames() {
+		if n == det.name {
+			listed = true
+		}
+	}
+	if !listed {
+		t.Fatalf("%q not listed in DetectorNames", det.name)
+	}
+}
+
+func TestRegisterDetectorDuplicateAndInvalid(t *testing.T) {
+	factory := func(cfg any) (rootcause.Detector, error) {
+		return &fakeDetector{name: "dup-test"}, nil
+	}
+	if err := rootcause.RegisterDetector("dup-test", factory); err != nil {
+		t.Fatal(err)
+	}
+	if err := rootcause.RegisterDetector("dup-test", factory); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	if err := rootcause.RegisterDetector("", factory); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if err := rootcause.RegisterDetector("nil-factory", nil); err == nil {
+		t.Fatal("nil factory must fail")
+	}
+}
+
+func TestDetectUnknownName(t *testing.T) {
+	sys := newEmptySystem(t)
+	_, err := sys.Detect(t.Context(), "no-such-detector", rootcause.Interval{Start: 0, End: 300})
+	if err == nil || !strings.Contains(err.Error(), "no-such-detector") {
+		t.Fatalf("err = %v, want unknown-detector error", err)
+	}
+}
+
+func TestWithDetectorConfigRejectsWrongType(t *testing.T) {
+	sys := newEmptySystem(t)
+	_, err := sys.Detect(t.Context(), "histogram", rootcause.Interval{Start: 0, End: 300},
+		rootcause.WithDetectorConfig(42))
+	if err == nil || !strings.Contains(err.Error(), "bad config type") {
+		t.Fatalf("err = %v, want bad-config-type error", err)
+	}
+}
+
+// fileAlarms stores n trivial alarms and returns their IDs.
+func fileAlarms(sys *rootcause.System, n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = sys.FileAlarm(rootcause.Alarm{
+			Detector: "test",
+			Interval: rootcause.Interval{Start: 300, End: 600},
+		})
+	}
+	return ids
+}
+
+func TestExtractAllBoundedConcurrency(t *testing.T) {
+	sys := newEmptySystem(t)
+	const n, k = 12, 3
+	ids := fileAlarms(sys, n)
+
+	var cur, peak, calls atomic.Int32
+	fn := func(ctx context.Context, a *rootcause.Alarm) (*rootcause.Result, error) {
+		c := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		calls.Add(1)
+		time.Sleep(5 * time.Millisecond) // let the pool fill up
+		return &rootcause.Result{Alarm: *a}, nil
+	}
+
+	got := 0
+	for r := range sys.ExtractAll(t.Context(), ids, rootcause.WithConcurrency(k), rootcause.WithExtractFunc(fn)) {
+		if r.Err != nil {
+			t.Fatalf("alarm %s: %v", r.AlarmID, r.Err)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("streamed %d results, want %d", got, n)
+	}
+	if calls.Load() != n {
+		t.Fatalf("extract ran %d times, want %d", calls.Load(), n)
+	}
+	if p := peak.Load(); p > k {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", p, k)
+	}
+	// Successful batch extraction updates the workflow status like Extract.
+	for _, id := range ids {
+		entry, err := sys.Alarm(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if entry.Status != "analyzed" {
+			t.Fatalf("alarm %s status = %q after batch, want analyzed", id, entry.Status)
+		}
+	}
+}
+
+func TestExtractAllCancellation(t *testing.T) {
+	sys := newEmptySystem(t)
+	const n, k = 8, 2
+	ids := fileAlarms(sys, n)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, n)
+	fn := func(ctx context.Context, a *rootcause.Alarm) (*rootcause.Result, error) {
+		started <- struct{}{}
+		<-ctx.Done() // a slow extraction that only ends by cancellation
+		return nil, ctx.Err()
+	}
+
+	out := sys.ExtractAll(ctx, ids, rootcause.WithConcurrency(k), rootcause.WithExtractFunc(fn))
+	// Wait until the pool is saturated, then cancel mid-batch.
+	<-started
+	<-started
+	cancel()
+
+	deadline := time.After(5 * time.Second)
+	got := 0
+	for {
+		select {
+		case r, ok := <-out:
+			if !ok {
+				// A cancelled batch may discard pending results, but never
+				// invents them, and the channel must close promptly.
+				if got > n {
+					t.Fatalf("streamed %d results for %d alarms", got, n)
+				}
+				// All workers must have exited: no goroutine leak.
+				for i := 0; ; i++ {
+					if runtime.NumGoroutine() <= before {
+						return
+					}
+					if i > 100 {
+						t.Fatalf("goroutines %d > %d before ExtractAll", runtime.NumGoroutine(), before)
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Fatalf("alarm %s err = %v, want context.Canceled", r.AlarmID, r.Err)
+			}
+			got++
+		case <-deadline:
+			t.Fatalf("batch did not wind down after cancellation (%d/%d results)", got, n)
+		}
+	}
+}
+
+// TestExtractAllAbandonedConsumer pins the leak-freedom contract: a
+// consumer that stops reading and cancels the context releases the
+// pool even though results were never drained.
+func TestExtractAllAbandonedConsumer(t *testing.T) {
+	sys := newEmptySystem(t)
+	ids := fileAlarms(sys, 16)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	fn := func(ctx context.Context, a *rootcause.Alarm) (*rootcause.Result, error) {
+		return &rootcause.Result{Alarm: *a}, nil
+	}
+	out := sys.ExtractAll(ctx, ids, rootcause.WithConcurrency(4), rootcause.WithExtractFunc(fn))
+	<-out // read one result, then walk away without draining
+	cancel()
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if i > 200 {
+			t.Fatalf("goroutines %d > %d: pool leaked after abandoned consumer", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestExtractAllUnknownAlarm(t *testing.T) {
+	sys := newEmptySystem(t)
+	ids := fileAlarms(sys, 1)
+	fn := func(ctx context.Context, a *rootcause.Alarm) (*rootcause.Result, error) {
+		return &rootcause.Result{Alarm: *a}, nil
+	}
+	var okCount, errCount int
+	for r := range sys.ExtractAll(t.Context(), append(ids, "does-not-exist"), rootcause.WithExtractFunc(fn)) {
+		if r.Err != nil {
+			errCount++
+		} else {
+			okCount++
+		}
+	}
+	if okCount != 1 || errCount != 1 {
+		t.Fatalf("ok=%d err=%d, want 1/1", okCount, errCount)
+	}
+}
+
+func TestExtractAllEmpty(t *testing.T) {
+	sys := newEmptySystem(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sys.ExtractAll(t.Context(), nil) {
+			t.Error("result from empty batch")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("empty batch did not close its channel")
+	}
+}
+
+// TestExtractAllStreamsInCompletionOrder pins the streaming contract:
+// a fast extraction is delivered before a slow one that started first.
+func TestExtractAllStreamsInCompletionOrder(t *testing.T) {
+	sys := newEmptySystem(t)
+	ids := fileAlarms(sys, 2)
+	slow, fast := ids[0], ids[1]
+
+	release := make(chan struct{})
+	fn := func(ctx context.Context, a *rootcause.Alarm) (*rootcause.Result, error) {
+		if a.ID == slow {
+			<-release
+		}
+		return &rootcause.Result{Alarm: *a}, nil
+	}
+	out := sys.ExtractAll(t.Context(), ids, rootcause.WithConcurrency(2), rootcause.WithExtractFunc(fn))
+	first := <-out
+	if first.AlarmID != fast {
+		t.Fatalf("first streamed result = %s, want the fast alarm %s", first.AlarmID, fast)
+	}
+	close(release)
+	second := <-out
+	if second.AlarmID != slow {
+		t.Fatalf("second streamed result = %s, want %s", second.AlarmID, slow)
+	}
+	if _, ok := <-out; ok {
+		t.Fatal("channel not closed after all results")
+	}
+}
+
+func TestWithExtractionOptionsInvalid(t *testing.T) {
+	sys := newEmptySystem(t)
+	id := sys.FileAlarm(rootcause.Alarm{Interval: rootcause.Interval{Start: 300, End: 600}})
+	bad := rootcause.DefaultExtractionOptions()
+	bad.MaxItemsets = 1
+	bad.MinItemsets = 5 // Max < Min: rejected by option validation
+	if _, err := sys.Extract(t.Context(), id, rootcause.WithExtractionOptions(bad)); err == nil {
+		t.Fatal("invalid per-call extraction options must be rejected")
+	}
+}
+
+func TestExtractCancelledContext(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := rootcause.Create(rootcause.Config{StoreDir: filepath.Join(dir, "flows")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	recs := make([]rootcause.Record, 200)
+	for i := range recs {
+		recs[i] = rootcause.Record{
+			Start: 300 + uint32(i%300), SrcIP: flow.IP(i + 1), DstIP: 2,
+			SrcPort: 1, DstPort: 80, Proto: flow.ProtoTCP, Packets: 1, Bytes: 40,
+		}
+	}
+	if err := sys.AddFlows(recs); err != nil {
+		t.Fatal(err)
+	}
+	id := sys.FileAlarm(rootcause.Alarm{Interval: rootcause.Interval{Start: 300, End: 600}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.Extract(ctx, id); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Extract err = %v, want context.Canceled", err)
+	}
+	if _, err := sys.Flows(ctx, rootcause.Interval{Start: 0, End: 900}, ""); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Flows err = %v, want context.Canceled", err)
+	}
+}
+
+// Compile-time check that the exported factory type matches the
+// registry's, so third-party registration code can use either name.
+var _ rootcause.DetectorFactory = func(cfg any) (detector.Detector, error) {
+	return nil, fmt.Errorf("unused")
+}

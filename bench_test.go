@@ -10,6 +10,7 @@
 package rootcause_test
 
 import (
+	"context"
 	"testing"
 
 	rootcause "repro"
@@ -185,13 +186,13 @@ func BenchmarkFigure1Pipeline(b *testing.B) {
 		}
 		b.StartTimer()
 
-		ids, err := sys.Detect("netreflex", truth.Span)
+		ids, err := sys.Detect(b.Context(), "netreflex", truth.Span)
 		if err != nil {
 			b.Fatal(err)
 		}
 		extracted := 0
 		for _, id := range ids {
-			if _, err := sys.Extract(id); err == nil {
+			if _, err := sys.Extract(b.Context(), id); err == nil {
 				extracted++
 			}
 		}
@@ -229,7 +230,7 @@ func minerDataset(b *testing.B, n int) *itemset.Dataset {
 	if err != nil {
 		b.Fatal(err)
 	}
-	records, err := store.Records(truth.Span, nil)
+	records, err := store.Records(b.Context(), truth.Span, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func minerDataset(b *testing.B, n int) *itemset.Dataset {
 }
 
 // benchMiner benchmarks one miner at one scale (E8).
-func benchMiner(b *testing.B, n int, mine func(*itemset.Dataset, apriori.Options) ([]itemset.Frequent, error)) {
+func benchMiner(b *testing.B, n int, mine func(context.Context, *itemset.Dataset, apriori.Options) ([]itemset.Frequent, error)) {
 	ds := minerDataset(b, n)
 	minSup := uint64(ds.TotalFlows() / 20)
 	if minSup == 0 {
@@ -245,7 +246,7 @@ func benchMiner(b *testing.B, n int, mine func(*itemset.Dataset, apriori.Options
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := mine(ds, apriori.Options{MinSupport: minSup})
+		res, err := mine(b.Context(), ds, apriori.Options{MinSupport: minSup})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -314,7 +315,7 @@ func BenchmarkPrefilter_Ablation(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := ex.Extract(alarm); err != nil {
+				if _, err := ex.Extract(b.Context(), alarm); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -329,14 +330,14 @@ func BenchmarkMaximalReduction_Ablation(b *testing.B) {
 	minSup := uint64(ds.TotalFlows() / 20)
 	b.Run("all-frequent", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := apriori.Mine(ds, apriori.Options{MinSupport: minSup}); err != nil {
+			if _, err := apriori.Mine(b.Context(), ds, apriori.Options{MinSupport: minSup}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("maximal-only", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := apriori.MineMaximal(ds, apriori.Options{MinSupport: minSup}); err != nil {
+			if _, err := apriori.MineMaximal(b.Context(), ds, apriori.Options{MinSupport: minSup}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -354,7 +355,7 @@ func BenchmarkExtractAlarm(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := ex.Extract(alarm)
+		res, err := ex.Extract(b.Context(), alarm)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -373,7 +374,7 @@ func BenchmarkStoreQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
-		err := store.Query(alarm.Interval, filter, func(*flow.Record) error {
+		err := store.Query(b.Context(), alarm.Interval, filter, func(*flow.Record) error {
 			n++
 			return nil
 		})

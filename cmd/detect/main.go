@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	rootcause "repro"
 	"repro/internal/flow"
@@ -19,7 +21,7 @@ import (
 func main() {
 	var (
 		storeDir = flag.String("store", "", "flow store directory (required)")
-		detName  = flag.String("detector", "netreflex", "detector: netreflex|histogram|pca")
+		detName  = flag.String("detector", "netreflex", "registered detector name (see rootcause.DetectorNames)")
 		dbPath   = flag.String("alarmdb", "", "alarm database JSON path (default: <store>/alarms.json)")
 		from     = flag.Uint("from", 0, "span start, unix seconds (0 = store start)")
 		to       = flag.Uint("to", 0, "span end, unix seconds (0 = store end)")
@@ -40,6 +42,8 @@ func main() {
 }
 
 func run(storeDir, detName, dbPath string, from, to uint32) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	sys, err := rootcause.Open(rootcause.Config{StoreDir: storeDir, AlarmDBPath: dbPath})
 	if err != nil {
 		return err
@@ -63,7 +67,7 @@ func run(storeDir, detName, dbPath string, from, to uint32) error {
 		}
 	}
 
-	ids, err := sys.Detect(detName, span)
+	ids, err := sys.Detect(ctx, detName, span)
 	if err != nil {
 		return err
 	}

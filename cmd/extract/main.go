@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	rootcause "repro"
@@ -70,6 +72,8 @@ func main() {
 
 func run(storeDir, dbPath, alarmID string, from, to uint32, metaExpr string,
 	opts rootcause.ExtractionOptions, showFlows int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	sys, err := rootcause.Open(rootcause.Config{
 		StoreDir: storeDir, AlarmDBPath: dbPath, Extraction: &opts,
 	})
@@ -81,7 +85,7 @@ func run(storeDir, dbPath, alarmID string, from, to uint32, metaExpr string,
 	var res *rootcause.Result
 	switch {
 	case alarmID != "":
-		res, err = sys.Extract(alarmID)
+		res, err = sys.Extract(ctx, alarmID)
 	case from != 0 && to != 0:
 		metaItems, merr := parseMeta(metaExpr)
 		if merr != nil {
@@ -92,7 +96,7 @@ func run(storeDir, dbPath, alarmID string, from, to uint32, metaExpr string,
 			Interval: flow.Interval{Start: from, End: to},
 			Meta:     metaItems,
 		}
-		res, err = sys.ExtractAlarm(&alarm)
+		res, err = sys.ExtractAlarm(ctx, &alarm)
 	default:
 		return fmt.Errorf("need -id, or -from and -to")
 	}
@@ -112,7 +116,7 @@ func run(storeDir, dbPath, alarmID string, from, to uint32, metaExpr string,
 	}
 
 	if showFlows > 0 && len(res.Itemsets) > 0 {
-		flows, err := sys.ItemsetFlows(res.Alarm.Interval, &res.Itemsets[0])
+		flows, err := sys.ItemsetFlows(ctx, res.Alarm.Interval, &res.Itemsets[0])
 		if err != nil {
 			return err
 		}

@@ -1,5 +1,5 @@
 // Command rcad serves the HTTP JSON backend of the paper's operator GUI:
-// listing alarms, running extraction for an alarm, drilling down to raw
+// listing alarms, running detection and extraction, drilling down to raw
 // flows with nfdump-style filters, and recording verdicts. The paper's
 // front-end is a GUI over exactly these operations; any HTTP client can
 // drive this backend.
@@ -11,23 +11,40 @@
 // Endpoints:
 //
 //	GET  /api/health
+//	GET  /api/detectors
+//	POST /api/detect                body: {"detector":"netreflex","from":UNIX,"to":UNIX}
 //	GET  /api/alarms?from=UNIX&to=UNIX
 //	GET  /api/alarms/{id}
 //	POST /api/alarms/{id}/extract
+//	POST /api/extract-batch         body: {"alarm_ids":["1","2"],"concurrency":4}
 //	POST /api/alarms/{id}/verdict   body: {"validated":true,"note":"..."}
 //	GET  /api/flows?from=UNIX&to=UNIX&filter=EXPR&limit=N
+//
+// Every handler runs under its request's context, so a disconnecting
+// client aborts the store scan or extraction it was waiting for.
+// /api/extract-batch streams NDJSON: one result object per line, in
+// completion order. The server drains in-flight requests on SIGINT or
+// SIGTERM via http.Server.Shutdown and always closes the system so the
+// flow store flushes and the alarm database persists.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	rootcause "repro"
+	"repro/internal/alarmdb"
 	"repro/internal/flow"
 )
 
@@ -36,6 +53,7 @@ func main() {
 		storeDir = flag.String("store", "", "flow store directory (required)")
 		dbPath   = flag.String("alarmdb", "", "alarm database JSON path")
 		listen   = flag.String("listen", ":8642", "listen address")
+		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain timeout")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -47,13 +65,61 @@ func main() {
 	if err != nil {
 		log.Fatal("rcad: ", err)
 	}
-	defer sys.Close()
-
-	srv := &server{sys: sys}
-	log.Printf("rcad: serving %s on %s", *storeDir, *listen)
-	if err := http.ListenAndServe(*listen, srv.routes()); err != nil {
+	if err := run(sys, *listen, *drain); err != nil {
+		sys.Close()
 		log.Fatal("rcad: ", err)
 	}
+	if err := sys.Close(); err != nil {
+		log.Fatal("rcad: close: ", err)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then drains in-flight requests via
+// Shutdown. Requests still running when the drain timeout expires have
+// their contexts cancelled so store scans and extractions abort cleanly
+// instead of being cut mid-write.
+func run(sys *rootcause.System, listen string, drain time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// baseCtx outlives the signal: in-flight requests keep working during
+	// the drain window and are cancelled only when it runs out.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	srv := &http.Server{
+		Addr:        listen,
+		Handler:     (&server{sys: sys}).routes(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("rcad: serving on %s", listen)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("rcad: shutting down (drain %s)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if err != nil {
+		// Drain window expired: cancel the stragglers' contexts and force
+		// the remaining connections closed.
+		baseCancel()
+		srv.Close()
+	}
+	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
 }
 
 // server holds the handler state.
@@ -65,9 +131,12 @@ type server struct {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/health", s.handleHealth)
+	mux.HandleFunc("GET /api/detectors", s.handleDetectors)
+	mux.HandleFunc("POST /api/detect", s.handleDetect)
 	mux.HandleFunc("GET /api/alarms", s.handleAlarms)
 	mux.HandleFunc("GET /api/alarms/{id}", s.handleAlarm)
 	mux.HandleFunc("POST /api/alarms/{id}/extract", s.handleExtract)
+	mux.HandleFunc("POST /api/extract-batch", s.handleExtractBatch)
 	mux.HandleFunc("POST /api/alarms/{id}/verdict", s.handleVerdict)
 	mux.HandleFunc("GET /api/flows", s.handleFlows)
 	return mux
@@ -124,6 +193,40 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+func (s *server) handleDetectors(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"detectors": rootcause.DetectorNames(),
+	})
+}
+
+func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Detector string `json:"detector"`
+		From     uint32 `json:"from"`
+		To       uint32 `json:"to"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
+		return
+	}
+	span := flow.Interval{Start: body.From, End: body.To}
+	if body.To == 0 {
+		span.End = ^uint32(0)
+	}
+	ids, err := s.sys.Detect(r.Context(), body.Detector, span)
+	if err != nil {
+		// Unknown detector / bad config is the caller's mistake; a failed
+		// store scan is ours.
+		status := http.StatusInternalServerError
+		if errors.Is(err, rootcause.ErrDetectorSetup) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"alarm_ids": ids})
+}
+
 func (s *server) handleAlarms(w http.ResponseWriter, r *http.Request) {
 	span, err := parseSpan(r)
 	if err != nil {
@@ -161,13 +264,8 @@ type itemsetJSON struct {
 	Filter        string  `json:"filter"`
 }
 
-func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	res, err := s.sys.Extract(id)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
+// toExtractResponse converts a result for the wire.
+func toExtractResponse(id string, res *rootcause.Result) extractResponse {
 	resp := extractResponse{
 		AlarmID:          id,
 		CandidateFlows:   res.CandidateFlows,
@@ -185,7 +283,72 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 			Filter:        rep.Filter().String(),
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := s.sys.Extract(r.Context(), id)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, alarmdb.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toExtractResponse(id, res))
+}
+
+// batchLine is one NDJSON line of /api/extract-batch.
+type batchLine struct {
+	AlarmID string           `json:"alarm_id"`
+	Error   string           `json:"error,omitempty"`
+	Result  *extractResponse `json:"result,omitempty"`
+}
+
+func (s *server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		AlarmIDs    []string `json:"alarm_ids"`
+		Concurrency int      `json:"concurrency"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
+		return
+	}
+	if len(body.AlarmIDs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("alarm_ids is empty"))
+		return
+	}
+	var opts []rootcause.Option
+	if body.Concurrency > 0 {
+		opts = append(opts, rootcause.WithConcurrency(body.Concurrency))
+	}
+	// The explicit cancel releases the extraction pool if we stop
+	// consuming early (e.g. the client disconnected mid-stream and a
+	// write failed) — ExtractAll winds down on context cancellation.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for res := range s.sys.ExtractAll(ctx, body.AlarmIDs, opts...) {
+		line := batchLine{AlarmID: res.AlarmID}
+		if res.Err != nil {
+			line.Error = res.Err.Error()
+		} else {
+			resp := toExtractResponse(res.AlarmID, res.Result)
+			line.Result = &resp
+		}
+		if err := enc.Encode(line); err != nil {
+			log.Printf("rcad: encode batch line: %v", err)
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 }
 
 func (s *server) handleVerdict(w http.ResponseWriter, r *http.Request) {
@@ -219,7 +382,7 @@ func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	flows, err := s.sys.Flows(span, r.URL.Query().Get("filter"))
+	flows, err := s.sys.Flows(r.Context(), span, r.URL.Query().Get("filter"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 
@@ -12,6 +14,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/flow"
 	"repro/internal/gen"
+	"repro/internal/nfstore"
 )
 
 // newTestServer builds a system with a scan scenario and one filed alarm,
@@ -187,5 +190,161 @@ func TestFlowsEndpoint(t *testing.T) {
 	}
 	if code := getJSON(t, srv.URL+"/api/flows?from=abc", &errBody); code != http.StatusBadRequest {
 		t.Fatalf("bad from status %d", code)
+	}
+}
+
+func TestDetectorsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var body struct {
+		Detectors []string `json:"detectors"`
+	}
+	if code := getJSON(t, srv.URL+"/api/detectors", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	want := map[string]bool{"netreflex": false, "histogram": false, "pca": false}
+	for _, n := range body.Detectors {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("built-in %q missing from %v", n, body.Detectors)
+		}
+	}
+}
+
+// httpDetector is registered from outside the rootcause package and must
+// be listed and runnable through the HTTP API.
+type httpDetector struct{}
+
+func (httpDetector) Name() string { return "http-test-detector" }
+
+func (httpDetector) Detect(ctx context.Context, _ *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
+	return []detector.Alarm{{
+		Detector: "http-test-detector",
+		Interval: flow.Interval{Start: span.Start, End: span.Start + 300},
+		Kind:     detector.KindDoS,
+	}}, nil
+}
+
+func TestDetectEndpoint(t *testing.T) {
+	if err := rootcause.RegisterDetector("http-test-detector",
+		func(cfg any) (rootcause.Detector, error) { return httpDetector{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := newTestServer(t)
+
+	// The externally registered detector is listed...
+	var listing struct {
+		Detectors []string `json:"detectors"`
+	}
+	getJSON(t, srv.URL+"/api/detectors", &listing)
+	if !slices.Contains(listing.Detectors, "http-test-detector") {
+		t.Fatalf("registered detector missing from %v", listing.Detectors)
+	}
+
+	// ...and usable: POST /api/detect files its alarms.
+	resp, err := http.Post(srv.URL+"/api/detect", "application/json",
+		strings.NewReader(`{"detector":"http-test-detector","from":1300000200,"to":1300001400}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		AlarmIDs []string `json:"alarm_ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.AlarmIDs) != 1 {
+		t.Fatalf("filed %d alarms, want 1", len(body.AlarmIDs))
+	}
+
+	// Unknown detector and bad body are 400s.
+	for _, payload := range []string{`{"detector":"frobnicator"}`, `{broken`} {
+		resp, err := http.Post(srv.URL+"/api/detect", "application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("payload %q: status %d, want 400", payload, resp.StatusCode)
+		}
+	}
+}
+
+func TestExtractBatchEndpoint(t *testing.T) {
+	srv, id := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/api/extract-batch", "application/json",
+		strings.NewReader(`{"alarm_ids":["`+id+`","404"],"concurrency":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type %q", ct)
+	}
+	var ok, failed int
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var line batchLine
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case line.Error != "":
+			if line.AlarmID != "404" {
+				t.Fatalf("unexpected error for %s: %s", line.AlarmID, line.Error)
+			}
+			failed++
+		default:
+			if line.AlarmID != id || line.Result == nil || len(line.Result.Itemsets) == 0 {
+				t.Fatalf("bad result line: %+v", line)
+			}
+			ok++
+		}
+	}
+	if ok != 1 || failed != 1 {
+		t.Fatalf("ok=%d failed=%d, want 1/1", ok, failed)
+	}
+	// The extracted alarm is now analyzed; the unknown one obviously not.
+	var entry map[string]any
+	getJSON(t, srv.URL+"/api/alarms/"+id, &entry)
+	if entry["status"] != "analyzed" {
+		t.Fatalf("post-batch status = %v", entry["status"])
+	}
+}
+
+func TestExtractBatchBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for _, payload := range []string{`{"alarm_ids":[]}`, `{broken`} {
+		resp, err := http.Post(srv.URL+"/api/extract-batch", "application/json",
+			strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("payload %q: status %d, want 400", payload, resp.StatusCode)
+		}
+	}
+}
+
+func TestExtractUnknownAlarmIs404(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/api/alarms/404/extract", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
 	}
 }

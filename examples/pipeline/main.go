@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "pipeline-*")
 	if err != nil {
 		log.Fatal(err)
@@ -62,31 +64,34 @@ func main() {
 		truth.BackgroundFlows, len(truth.Entries))
 
 	fmt.Println("2. running NetReflex over the trace...")
-	ids, err := sys.Detect("netreflex", truth.Span)
+	ids, err := sys.Detect(ctx, "netreflex", truth.Span)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("   %d alarm(s) filed\n", len(ids))
 
-	fmt.Println("3. extracting each alarm:")
-	for _, id := range ids {
+	// Batch extraction: fan the alarms across a bounded worker pool and
+	// consume results as they complete.
+	fmt.Println("3. extracting all alarms (2 workers):")
+	for br := range sys.ExtractAll(ctx, ids, rootcause.WithConcurrency(2)) {
+		id := br.AlarmID
 		entry, err := sys.Alarm(id)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\n--- alarm %s: %s\n", id, entry.Alarm.String())
-		res, err := sys.Extract(id)
-		if err != nil {
-			fmt.Printf("    extraction failed: %v\n", err)
+		if br.Err != nil {
+			fmt.Printf("    extraction failed: %v\n", br.Err)
 			continue
 		}
+		res := br.Result
 		fmt.Print(res.Table().String())
 
 		// Operator verdict: validate when the itemsets identify a known
 		// injected anomaly (in the NOC this is the human's call).
 		validated := false
 		for i := range res.Itemsets {
-			flows, err := sys.ItemsetFlows(res.Alarm.Interval, &res.Itemsets[i])
+			flows, err := sys.ItemsetFlows(ctx, res.Alarm.Interval, &res.Itemsets[i])
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -61,14 +62,14 @@ func main() {
 	})
 
 	// 4. Extract: the itemsets summarize the anomalous flows.
-	res, err := sys.Extract(id)
+	res, err := sys.Extract(context.Background(), id)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(res.Table().String())
 
 	// 5. Drill down to the raw flows behind the top itemset.
-	flows, err := sys.ItemsetFlows(res.Alarm.Interval, &res.Itemsets[0])
+	flows, err := sys.ItemsetFlows(context.Background(), res.Alarm.Interval, &res.Itemsets[0])
 	if err != nil {
 		log.Fatal(err)
 	}

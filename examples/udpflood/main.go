@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -61,7 +62,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sys.ExtractAlarm(&rootcause.Alarm{
+		res, err := sys.ExtractAlarm(context.Background(), &rootcause.Alarm{
 			Detector: "example", Interval: truth.Entries[0].Interval,
 		})
 		if err != nil {

@@ -1,0 +1,10 @@
+package rootcause
+
+import "context"
+
+// WithExtractFunc substitutes the extraction engine for one call — a
+// test-only seam used to assert ExtractAll's pool behavior (concurrency
+// bound, cancellation) without running real mining.
+func WithExtractFunc(fn func(ctx context.Context, a *Alarm) (*Result, error)) Option {
+	return func(o *callOptions) { o.extractFn = fn }
+}

@@ -10,6 +10,7 @@
 package apriori
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -37,8 +38,9 @@ var ErrZeroSupport = errors.New("apriori: MinSupport must be >= 1")
 
 // Mine returns all itemsets with support >= opts.MinSupport in the chosen
 // dimension, canonically sorted (descending support, then descending
-// length). The empty itemset is never reported.
-func Mine(ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
+// length). The empty itemset is never reported. Cancelling ctx aborts
+// mining between dataset scan strides and returns ctx.Err().
+func Mine(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
 	if opts.MinSupport == 0 {
 		return nil, ErrZeroSupport
 	}
@@ -52,6 +54,11 @@ func Mine(ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
 	// Level 1: count every item with one scan.
 	counts := make(map[itemset.Item]uint64)
 	for i := 0; i < ds.Len(); i++ {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		tx := ds.Tx(i)
 		w := tx.Weight(opts.ByPackets)
 		for _, it := range tx.Items {
@@ -72,11 +79,17 @@ func Mine(ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
 	// Levels 2..maxLen: generate candidates from the previous level, count
 	// with one scan, keep the frequent ones.
 	for k := 2; k <= maxLen && len(level) >= 2; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		candidates := generateCandidates(level, k)
 		if len(candidates) == 0 {
 			break
 		}
-		supports := countCandidates(ds, candidates, frequent, k, opts.ByPackets)
+		supports, err := countCandidates(ctx, ds, candidates, frequent, k, opts.ByPackets)
+		if err != nil {
+			return nil, err
+		}
 		var next []itemset.Set
 		for key, sup := range supports {
 			if sup >= opts.MinSupport {
@@ -95,13 +108,17 @@ func Mine(ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
 
 // MineMaximal runs Mine and reduces the result to maximal itemsets, the
 // form the paper reports to operators.
-func MineMaximal(ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
-	all, err := Mine(ds, opts)
+func MineMaximal(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
+	all, err := Mine(ctx, ds, opts)
 	if err != nil {
 		return nil, err
 	}
 	return itemset.MaximalOnly(all), nil
 }
+
+// ctxCheckStride is how many transactions a dataset scan processes between
+// context checks.
+const ctxCheckStride = 1024
 
 // sortSets orders itemsets lexicographically so candidate generation can
 // join sets sharing a (k-2)-prefix by scanning neighbours.
@@ -188,11 +205,16 @@ func allSubsetsFrequent(cand itemset.Set, prev map[string]bool) bool {
 // countCandidates scans the dataset once, enumerating each transaction's
 // k-subsets over frequent items and accumulating support for those that
 // are candidates.
-func countCandidates(ds *itemset.Dataset, candidates map[string]itemset.Set, frequentItem map[itemset.Item]bool, k int, byPackets bool) map[string]uint64 {
+func countCandidates(ctx context.Context, ds *itemset.Dataset, candidates map[string]itemset.Set, frequentItem map[itemset.Item]bool, k int, byPackets bool) (map[string]uint64, error) {
 	supports := make(map[string]uint64, len(candidates))
 	var buf itemset.Set      // scratch subset
 	var items []itemset.Item // frequent items of the current transaction
 	for i := 0; i < ds.Len(); i++ {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		tx := ds.Tx(i)
 		items = items[:0]
 		for _, it := range tx.Items {
@@ -211,7 +233,7 @@ func countCandidates(ds *itemset.Dataset, candidates map[string]itemset.Set, fre
 			}
 		})
 	}
-	return supports
+	return supports, nil
 }
 
 // enumerateSubsets calls fn for every k-subset of items (which is sorted),

@@ -1,6 +1,8 @@
 package apriori
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -90,7 +92,7 @@ func TestMineMatchesBruteForce(t *testing.T) {
 	for seed := uint64(1); seed <= 5; seed++ {
 		ds := randomDataset(seed, 200)
 		for _, minSup := range []uint64{1, 5, 20, 60} {
-			got, err := Mine(ds, Options{MinSupport: minSup})
+			got, err := Mine(t.Context(), ds, Options{MinSupport: minSup})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -103,7 +105,7 @@ func TestMineByPacketsMatchesBruteForce(t *testing.T) {
 	for seed := uint64(10); seed <= 12; seed++ {
 		ds := randomDataset(seed, 150)
 		for _, minSup := range []uint64{10, 200, 1000} {
-			got, err := Mine(ds, Options{MinSupport: minSup, ByPackets: true})
+			got, err := Mine(t.Context(), ds, Options{MinSupport: minSup, ByPackets: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -115,7 +117,7 @@ func TestMineByPacketsMatchesBruteForce(t *testing.T) {
 func TestMaxLen(t *testing.T) {
 	ds := randomDataset(3, 100)
 	for maxLen := 1; maxLen <= 5; maxLen++ {
-		got, err := Mine(ds, Options{MinSupport: 5, MaxLen: maxLen})
+		got, err := Mine(t.Context(), ds, Options{MinSupport: 5, MaxLen: maxLen})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,14 +132,14 @@ func TestMaxLen(t *testing.T) {
 
 func TestZeroSupportRejected(t *testing.T) {
 	ds := randomDataset(1, 10)
-	if _, err := Mine(ds, Options{MinSupport: 0}); err != ErrZeroSupport {
+	if _, err := Mine(t.Context(), ds, Options{MinSupport: 0}); err != ErrZeroSupport {
 		t.Fatalf("got %v, want ErrZeroSupport", err)
 	}
 }
 
 func TestEmptyDataset(t *testing.T) {
 	ds := itemset.FromRecords(nil)
-	got, err := Mine(ds, Options{MinSupport: 1})
+	got, err := Mine(t.Context(), ds, Options{MinSupport: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,11 +150,11 @@ func TestEmptyDataset(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	ds := randomDataset(7, 300)
-	a, err := Mine(ds, Options{MinSupport: 10})
+	a, err := Mine(t.Context(), ds, Options{MinSupport: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Mine(ds, Options{MinSupport: 10})
+	b, err := Mine(t.Context(), ds, Options{MinSupport: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +191,7 @@ func TestAnomalyScenario(t *testing.T) {
 		})
 	}
 	ds := itemset.FromRecords(recs)
-	got, err := MineMaximal(ds, Options{MinSupport: 400})
+	got, err := MineMaximal(t.Context(), ds, Options{MinSupport: 400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,11 +211,11 @@ func TestAnomalyScenario(t *testing.T) {
 
 func TestMaximalReduction(t *testing.T) {
 	ds := randomDataset(5, 200)
-	all, err := Mine(ds, Options{MinSupport: 10})
+	all, err := Mine(t.Context(), ds, Options{MinSupport: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	max, err := MineMaximal(ds, Options{MinSupport: 10})
+	max, err := MineMaximal(t.Context(), ds, Options{MinSupport: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +236,7 @@ func TestSupportMonotonicityProperty(t *testing.T) {
 	// Apriori property: support of a superset never exceeds support of a
 	// subset. Verified over the miner's own output.
 	ds := randomDataset(13, 250)
-	got, err := Mine(ds, Options{MinSupport: 3})
+	got, err := Mine(t.Context(), ds, Options{MinSupport: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +272,7 @@ func TestQuickRandomDatasets(t *testing.T) {
 		size := int(sizeRaw%60) + 5
 		minSup := uint64(supRaw%10) + 1
 		ds := randomDataset(seed, size)
-		got, err := Mine(ds, Options{MinSupport: minSup})
+		got, err := Mine(t.Context(), ds, Options{MinSupport: minSup})
 		if err != nil {
 			return false
 		}
@@ -288,5 +290,17 @@ func TestQuickRandomDatasets(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 25}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMineCancelled(t *testing.T) {
+	ds := randomDataset(3, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Mine(ctx, ds, Options{MinSupport: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Mine err = %v, want context.Canceled", err)
+	}
+	if _, err := MineMaximal(ctx, ds, Options{MinSupport: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MineMaximal err = %v, want context.Canceled", err)
 	}
 }

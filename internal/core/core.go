@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -233,7 +234,9 @@ func MustNew(store *nfstore.Store, opts Options) *Extractor {
 var ErrNoCandidates = errors.New("core: alarm interval contains no flows")
 
 // Extract runs the full extended-Apriori extraction for one alarm.
-func (e *Extractor) Extract(alarm *detector.Alarm) (*Result, error) {
+// Cancelling ctx aborts the candidate scan, the mining passes and the
+// baseline pass promptly, returning ctx.Err().
+func (e *Extractor) Extract(ctx context.Context, alarm *detector.Alarm) (*Result, error) {
 	res := &Result{Alarm: *alarm}
 
 	// Candidate selection: meta pre-filter with full-interval fallback.
@@ -241,7 +244,7 @@ func (e *Extractor) Extract(alarm *detector.Alarm) (*Result, error) {
 	var err error
 	if e.opts.UsePrefilter {
 		if mf := alarm.MetaFilter(); mf != nil {
-			records, err = e.store.Records(alarm.Interval, mf)
+			records, err = e.store.Records(ctx, alarm.Interval, mf)
 			if err != nil {
 				return nil, err
 			}
@@ -249,7 +252,7 @@ func (e *Extractor) Extract(alarm *detector.Alarm) (*Result, error) {
 		}
 	}
 	if len(records) < e.opts.MinCandidates {
-		records, err = e.store.Records(alarm.Interval, nil)
+		records, err = e.store.Records(ctx, alarm.Interval, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -263,7 +266,7 @@ func (e *Extractor) Extract(alarm *detector.Alarm) (*Result, error) {
 	res.CandidatePackets = ds.TotalPackets()
 
 	// Dimension 1: flow support (the classic IMC'09 miner).
-	flowSets, flowTuning, err := e.mineTuned(ds, false)
+	flowSets, flowTuning, err := e.mineTuned(ctx, ds, false)
 	if err != nil {
 		return nil, err
 	}
@@ -279,7 +282,7 @@ func (e *Extractor) Extract(alarm *detector.Alarm) (*Result, error) {
 	// "proto=udp" must not mask a flood's specific itemsets.
 	if e.opts.PacketCoverageMin > 0 &&
 		(e.opts.PacketCoverageMin >= 1 || coverage(ds, flowSets, true) < e.opts.PacketCoverageMin) {
-		pktSets, pktTuning, err := e.mineTuned(ds, true)
+		pktSets, pktTuning, err := e.mineTuned(ctx, ds, true)
 		if err != nil {
 			return nil, err
 		}
@@ -293,7 +296,7 @@ func (e *Extractor) Extract(alarm *detector.Alarm) (*Result, error) {
 		list = append(list, r)
 	}
 	if e.opts.BaselineFilter {
-		kept, dropped, err := e.baselineFilter(alarm.Interval, ds, list)
+		kept, dropped, err := e.baselineFilter(ctx, alarm.Interval, ds, list)
 		if err != nil {
 			return nil, err
 		}
@@ -332,7 +335,7 @@ func (e *Extractor) Extract(alarm *detector.Alarm) (*Result, error) {
 // mineTuned runs the self-tuning mining loop in one dimension: start at
 // InitialSupportFraction of the total, halve until the maximal-itemset
 // count reaches MinItemsets (or the floor / round bound stops us).
-func (e *Extractor) mineTuned(ds *itemset.Dataset, byPackets bool) ([]itemset.Frequent, DimensionTuning, error) {
+func (e *Extractor) mineTuned(ctx context.Context, ds *itemset.Dataset, byPackets bool) ([]itemset.Frequent, DimensionTuning, error) {
 	total := ds.Total(byPackets)
 	dim := nfstore.ByFlows
 	if byPackets {
@@ -349,7 +352,7 @@ func (e *Extractor) mineTuned(ds *itemset.Dataset, byPackets bool) ([]itemset.Fr
 	for round := 0; round < e.opts.MaxTuningRounds; round++ {
 		tuning.Rounds = round + 1
 		var err error
-		result, err = apriori.MineMaximal(ds, apriori.Options{
+		result, err = apriori.MineMaximal(ctx, ds, apriori.Options{
 			MinSupport: minSup,
 			ByPackets:  byPackets,
 			MaxLen:     e.opts.MaxLen,
@@ -422,13 +425,13 @@ func coverage(ds *itemset.Dataset, sets []itemset.Frequent, byPackets bool) floa
 // (baseline) bin is comparable to their share in the alarm bin: such
 // itemsets describe normal traffic structure (popular servers, busy
 // services), not the anomaly.
-func (e *Extractor) baselineFilter(iv flow.Interval, ds *itemset.Dataset, list []*ItemsetReport) (kept []*ItemsetReport, dropped int, err error) {
+func (e *Extractor) baselineFilter(ctx context.Context, iv flow.Interval, ds *itemset.Dataset, list []*ItemsetReport) (kept []*ItemsetReport, dropped int, err error) {
 	span := iv.End - iv.Start
 	if span == 0 || iv.Start < span {
 		return list, 0, nil
 	}
 	baseIv := flow.Interval{Start: iv.Start - span, End: iv.Start}
-	baseRecords, err := e.store.Records(baseIv, nil)
+	baseRecords, err := e.store.Records(ctx, baseIv, nil)
 	if err != nil {
 		return nil, 0, err
 	}

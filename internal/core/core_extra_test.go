@@ -24,7 +24,7 @@ func TestMaxLenBoundsItemsets(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxLen = 2
 	ex := MustNew(store, opts)
-	res, err := ex.Extract(&detector.Alarm{Interval: truth.Entries[0].Interval})
+	res, err := ex.Extract(t.Context(), &detector.Alarm{Interval: truth.Entries[0].Interval})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestPrefilterFallbackOnThinMeta(t *testing.T) {
 			{Feature: flow.FeatSrcIP, Value: uint32(flow.MustParseIP("203.0.113.99"))},
 		},
 	}
-	res, err := ex.Extract(alarm)
+	res, err := ex.Extract(t.Context(), alarm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestDimensionsRecorded(t *testing.T) {
 	}
 	store, truth := buildScenario(t, s)
 	ex := MustNew(store, DefaultOptions())
-	res, err := ex.Extract(&detector.Alarm{Interval: truth.Entries[0].Interval})
+	res, err := ex.Extract(t.Context(), &detector.Alarm{Interval: truth.Entries[0].Interval})
 	if err != nil {
 		t.Fatal(err)
 	}

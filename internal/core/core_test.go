@@ -81,7 +81,7 @@ func TestExtractPortScan(t *testing.T) {
 			{Feature: flow.FeatDstIP, Value: uint32(victim)},
 		},
 	}
-	res, err := ex.Extract(alarm)
+	res, err := ex.Extract(t.Context(), alarm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestExtractFindsCoOccurringAnomalies(t *testing.T) {
 			{Feature: flow.FeatSrcPort, Value: 55548},
 		},
 	}
-	res, err := ex.Extract(alarm)
+	res, err := ex.Extract(t.Context(), alarm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestExtractUDPFloodNeedsPacketSupport(t *testing.T) {
 	// With dual support (default): the flood itemset must surface.
 	ex := MustNew(store, DefaultOptions())
 	alarm := &detector.Alarm{Interval: truth.Entries[0].Interval}
-	res, err := ex.Extract(alarm)
+	res, err := ex.Extract(t.Context(), alarm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestExtractUDPFloodNeedsPacketSupport(t *testing.T) {
 	opts := DefaultOptions()
 	opts.PacketCoverageMin = 0 // never trigger the packet pass
 	exFlow := MustNew(store, opts)
-	resFlow, err := exFlow.Extract(alarm)
+	resFlow, err := exFlow.Extract(t.Context(), alarm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestSelfTuningLowersSupport(t *testing.T) {
 	opts := DefaultOptions()
 	opts.UsePrefilter = false
 	ex := MustNew(store, opts)
-	res, err := ex.Extract(&detector.Alarm{Interval: truth.Entries[0].Interval})
+	res, err := ex.Extract(t.Context(), &detector.Alarm{Interval: truth.Entries[0].Interval})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestBaselineFilterSuppressesPopularServices(t *testing.T) {
 	iv := flow.Interval{Start: truth.Span.Start + 2*300, End: truth.Span.Start + 3*300}
 
 	withFilter := MustNew(store, DefaultOptions())
-	resWith, err := withFilter.Extract(&detector.Alarm{Interval: iv})
+	resWith, err := withFilter.Extract(t.Context(), &detector.Alarm{Interval: iv})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestBaselineFilterSuppressesPopularServices(t *testing.T) {
 	opts := DefaultOptions()
 	opts.BaselineFilter = false
 	without := MustNew(store, opts)
-	resWithout, err := without.Extract(&detector.Alarm{Interval: iv})
+	resWithout, err := without.Extract(t.Context(), &detector.Alarm{Interval: iv})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +268,7 @@ func TestExtractNoCandidates(t *testing.T) {
 	store, truth := buildScenario(t, s)
 	ex := MustNew(store, DefaultOptions())
 	empty := flow.Interval{Start: truth.Span.End + 3000, End: truth.Span.End + 3300}
-	if _, err := ex.Extract(&detector.Alarm{Interval: empty}); err != ErrNoCandidates {
+	if _, err := ex.Extract(t.Context(), &detector.Alarm{Interval: empty}); err != ErrNoCandidates {
 		t.Fatalf("got %v, want ErrNoCandidates", err)
 	}
 }
@@ -306,7 +306,7 @@ func TestResultTable(t *testing.T) {
 	}
 	store, truth := buildScenario(t, s)
 	ex := MustNew(store, DefaultOptions())
-	res, err := ex.Extract(&detector.Alarm{Interval: truth.Entries[0].Interval})
+	res, err := ex.Extract(t.Context(), &detector.Alarm{Interval: truth.Entries[0].Interval})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,11 +348,11 @@ func TestDeterministicExtraction(t *testing.T) {
 	store, truth := buildScenario(t, s)
 	ex := MustNew(store, DefaultOptions())
 	alarm := &detector.Alarm{Interval: truth.Entries[0].Interval}
-	r1, err := ex.Extract(alarm)
+	r1, err := ex.Extract(t.Context(), alarm)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := ex.Extract(alarm)
+	r2, err := ex.Extract(t.Context(), alarm)
 	if err != nil {
 		t.Fatal(err)
 	}

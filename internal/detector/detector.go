@@ -9,6 +9,7 @@
 package detector
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -146,6 +147,7 @@ type Detector interface {
 	// Name identifies the detector in alarms it raises.
 	Name() string
 	// Detect scans the span (aligned to store bins) and returns alarms in
-	// time order. Implementations must not mutate the store.
-	Detect(store *nfstore.Store, span flow.Interval) ([]Alarm, error)
+	// time order. Implementations must not mutate the store and must
+	// honor ctx cancellation, returning ctx.Err() promptly.
+	Detect(ctx context.Context, store *nfstore.Store, span flow.Interval) ([]Alarm, error)
 }

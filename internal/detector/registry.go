@@ -1,0 +1,89 @@
+package detector
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory builds a detector from an optional configuration value. A nil
+// cfg asks for the detector's defaults; otherwise the factory
+// type-asserts its own Config type (netreflex.Config, histogram.Config,
+// pca.Config, ...) and rejects anything else. This keeps the registry
+// free of per-detector knowledge — the paper's pluggability seam.
+type Factory func(cfg any) (Detector, error)
+
+// registry holds the named detector factories. Built-in detectors
+// self-register from their packages' init functions; external detectors
+// register through rootcause.RegisterDetector.
+var registry = struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}{factories: map[string]Factory{}}
+
+// Register adds a named detector factory. The name must be non-empty and
+// not already taken.
+func Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("detector: register with empty name")
+	}
+	if f == nil {
+		return fmt.Errorf("detector: register %q with nil factory", name)
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		return fmt.Errorf("detector: %q already registered", name)
+	}
+	registry.factories[name] = f
+	return nil
+}
+
+// MustRegister is Register that panics on error; for package init use.
+func MustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Names lists the registered detector names, sorted.
+func Names() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	names := make([]string, 0, len(registry.factories))
+	for name := range registry.factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New builds the named detector, passing cfg to its factory (nil = the
+// detector's defaults).
+func New(name string, cfg any) (Detector, error) {
+	registry.mu.RLock()
+	f, ok := registry.factories[name]
+	registry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("detector: unknown detector %q (have %v)", name, Names())
+	}
+	return f(cfg)
+}
+
+// CoerceConfig resolves a factory's untyped cfg argument to the
+// detector's own Config type: nil yields def, a T or *T is used as-is,
+// anything else is an error. The shared shape of every built-in
+// factory.
+func CoerceConfig[T any](cfg any, def T) (T, error) {
+	switch v := cfg.(type) {
+	case nil:
+		return def, nil
+	case T:
+		return v, nil
+	case *T:
+		return *v, nil
+	default:
+		var zero T
+		return zero, fmt.Errorf("bad config type %T (want %T)", cfg, zero)
+	}
+}

@@ -33,7 +33,7 @@ func TestScoreResultPurityAndRecall(t *testing.T) {
 	}
 	alarm := SynthesizeAlarm(truth.Entry(1), s.Placements[0])
 	ex := core.MustNew(store, core.DefaultOptions())
-	res, err := ex.Extract(&alarm)
+	res, err := ex.Extract(t.Context(), &alarm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestScoreAdditionalEvidence(t *testing.T) {
 	}
 	_ = scannerB
 	ex := core.MustNew(store, core.DefaultOptions())
-	res, err := ex.Extract(&alarm)
+	res, err := ex.Extract(t.Context(), &alarm)
 	if err != nil {
 		t.Fatal(err)
 	}

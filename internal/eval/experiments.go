@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -98,7 +99,7 @@ func RunTable1(dir string, cfg Table1Scenario) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ex.Extract(&alarm)
+	return ex.Extract(context.Background(), &alarm)
 }
 
 // SweepRow is one row of the flow-vs-packet support sweep (E5).
@@ -152,7 +153,7 @@ func RunUDPFloodSweep(workDir string, floodFlows []int, packetsPerFlow uint64, s
 			store.Close()
 			return nil, err
 		}
-		if res, err := exFlow.Extract(alarm); err == nil {
+		if res, err := exFlow.Extract(context.Background(), alarm); err == nil {
 			row.FlowOnlyFound = containsItem(res, srcItem)
 		} else if err != core.ErrNoCandidates {
 			store.Close()
@@ -164,7 +165,7 @@ func RunUDPFloodSweep(workDir string, floodFlows []int, packetsPerFlow uint64, s
 			store.Close()
 			return nil, err
 		}
-		if res, err := exDual.Extract(alarm); err == nil {
+		if res, err := exDual.Extract(context.Background(), alarm); err == nil {
 			row.DualFound = containsItem(res, srcItem)
 		} else if err != core.ErrNoCandidates {
 			store.Close()
@@ -244,7 +245,7 @@ func RunTuningAblation(workDir string, intensities []float64, seed uint64) ([]Tu
 			store.Close()
 			return nil, err
 		}
-		if res, err := exTuned.Extract(alarm); err == nil {
+		if res, err := exTuned.Extract(context.Background(), alarm); err == nil {
 			row.SelfTunedUseful = containsItem(res, srcItem)
 			for _, tr := range res.Tuning {
 				if tr.Rounds > row.SelfTunedRounds {
@@ -263,7 +264,7 @@ func RunTuningAblation(workDir string, intensities []float64, seed uint64) ([]Tu
 			store.Close()
 			return nil, err
 		}
-		if res, err := exFixed.Extract(alarm); err == nil {
+		if res, err := exFixed.Extract(context.Background(), alarm); err == nil {
 			row.FixedUseful = containsItem(res, srcItem)
 		} else if err != core.ErrNoCandidates {
 			store.Close()

@@ -7,6 +7,7 @@
 package eval
 
 import (
+	"context"
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/flow"
@@ -82,7 +83,7 @@ func ScoreResult(store *nfstore.Store, alarm *detector.Alarm, res *core.Result, 
 
 	// Total anomalous traffic in the interval (recall denominator).
 	var totalAnoFlows, totalAnoPkts uint64
-	err := store.Query(alarm.Interval, nil, func(r *flow.Record) error {
+	err := store.Query(context.Background(), alarm.Interval, nil, func(r *flow.Record) error {
 		if r.IsAnomalous() {
 			totalAnoFlows++
 			totalAnoPkts += r.Packets
@@ -100,7 +101,7 @@ func ScoreResult(store *nfstore.Store, alarm *detector.Alarm, res *core.Result, 
 		is := ItemsetScore{Report: rep}
 		filter := rep.Filter()
 		var outsideMetaAno uint64
-		err := store.Query(alarm.Interval, filter, func(r *flow.Record) error {
+		err := store.Query(context.Background(), alarm.Interval, filter, func(r *flow.Record) error {
 			is.MatchedFlows++
 			is.MatchedPkts += r.Packets
 			if r.IsAnomalous() {
@@ -137,7 +138,7 @@ func ScoreResult(store *nfstore.Store, alarm *detector.Alarm, res *core.Result, 
 	// Recall: anomalous traffic covered by the union of useful itemsets.
 	if totalAnoFlows > 0 && len(usefulFilters) > 0 {
 		var covFlows, covPkts uint64
-		err := store.Query(alarm.Interval, nil, func(r *flow.Record) error {
+		err := store.Query(context.Background(), alarm.Interval, nil, func(r *flow.Record) error {
 			if !r.IsAnomalous() {
 				return nil
 			}

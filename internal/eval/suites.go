@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,8 +10,9 @@ import (
 	"repro/internal/detector"
 	"repro/internal/flow"
 	"repro/internal/gen"
-	"repro/internal/histogram"
-	"repro/internal/netreflex"
+	// Built-in detectors register themselves for detectAlarm's lookup.
+	_ "repro/internal/histogram"
+	_ "repro/internal/netreflex"
 	"repro/internal/nfstore"
 	"repro/internal/stats"
 )
@@ -387,7 +389,7 @@ func runScenario(i int, spec ScenarioSpec, cfg SuiteConfig, workDir string, bins
 		return nil, err
 	}
 	var score *AlarmScore
-	res, err := ex.Extract(&alarm)
+	res, err := ex.Extract(context.Background(), &alarm)
 	switch {
 	case err == core.ErrNoCandidates:
 		score = &AlarmScore{}
@@ -414,17 +416,18 @@ func runScenario(i int, spec ScenarioSpec, cfg SuiteConfig, workDir string, bins
 	}, nil
 }
 
-// detectAlarm runs the named detector and returns the alarm overlapping
+// detectAlarm runs the named detector (from the registry, with default
+// configuration; "" selects netreflex) and returns the alarm overlapping
 // the anomaly bin, if any.
 func detectAlarm(name string, store *nfstore.Store, span, alarmBin flow.Interval) (detector.Alarm, bool, error) {
-	var det detector.Detector
-	switch name {
-	case "histogram":
-		det = histogram.MustNew(histogram.DefaultConfig())
-	default:
-		det = netreflex.MustNew(netreflex.DefaultConfig())
+	if name == "" {
+		name = "netreflex"
 	}
-	alarms, err := det.Detect(store, span)
+	det, err := detector.New(name, nil)
+	if err != nil {
+		return detector.Alarm{}, false, err
+	}
+	alarms, err := det.Detect(context.Background(), store, span)
 	if err != nil {
 		return detector.Alarm{}, false, err
 	}

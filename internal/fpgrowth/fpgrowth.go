@@ -11,6 +11,7 @@
 package fpgrowth
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/apriori"
@@ -64,8 +65,9 @@ func (t *tree) insert(items []itemset.Item, weight uint64) {
 
 // Mine returns all itemsets with support >= opts.MinSupport in the chosen
 // dimension, canonically sorted; the result is element-for-element equal to
-// apriori.Mine on the same input.
-func Mine(ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
+// apriori.Mine on the same input. Cancelling ctx aborts mining between
+// conditional-tree expansions and returns ctx.Err().
+func Mine(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
 	if opts.MinSupport == 0 {
 		return nil, apriori.ErrZeroSupport
 	}
@@ -77,6 +79,11 @@ func Mine(ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
 	// Pass 1: global item supports.
 	support := make(map[itemset.Item]uint64)
 	for i := 0; i < ds.Len(); i++ {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		tx := ds.Tx(i)
 		w := tx.Weight(opts.ByPackets)
 		for _, it := range tx.Items {
@@ -109,6 +116,11 @@ func Mine(ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
 	t := newTree()
 	var path []itemset.Item
 	for i := 0; i < ds.Len(); i++ {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		tx := ds.Tx(i)
 		path = path[:0]
 		for _, it := range tx.Items {
@@ -124,14 +136,16 @@ func Mine(ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
 	}
 
 	var result []itemset.Frequent
-	mineTree(t, nil, opts.MinSupport, maxLen, &result)
+	if err := mineTree(ctx, t, nil, opts.MinSupport, maxLen, &result); err != nil {
+		return nil, err
+	}
 	itemset.SortFrequent(result)
 	return result, nil
 }
 
 // MineMaximal mines and reduces to maximal itemsets.
-func MineMaximal(ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
-	all, err := Mine(ds, opts)
+func MineMaximal(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
+	all, err := Mine(ctx, ds, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -140,9 +154,12 @@ func MineMaximal(ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) 
 
 // mineTree recursively mines t, emitting each frequent item of t extended
 // with the current suffix, then recursing on the item's conditional tree.
-func mineTree(t *tree, suffix itemset.Set, minSupport uint64, maxLen int, out *[]itemset.Frequent) {
+func mineTree(ctx context.Context, t *tree, suffix itemset.Set, minSupport uint64, maxLen int, out *[]itemset.Frequent) error {
 	if len(suffix) >= maxLen {
-		return
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	// Deterministic iteration order over header items.
 	items := make([]itemset.Item, 0, len(t.heads))
@@ -161,9 +178,12 @@ func mineTree(t *tree, suffix itemset.Set, minSupport uint64, maxLen int, out *[
 		}
 		cond := conditionalTree(t, it)
 		if len(cond.heads) > 0 {
-			mineTree(cond, newSet, minSupport, maxLen, out)
+			if err := mineTree(ctx, cond, newSet, minSupport, maxLen, out); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // conditionalTree builds the conditional FP-tree of item: the tree of

@@ -1,6 +1,8 @@
 package fpgrowth
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -56,11 +58,11 @@ func TestMatchesApriori(t *testing.T) {
 		ds := randomDataset(seed, 200)
 		for _, minSup := range []uint64{1, 5, 25, 80} {
 			opts := Options{MinSupport: minSup}
-			fp, err := Mine(ds, opts)
+			fp, err := Mine(t.Context(), ds, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			ap, err := apriori.Mine(ds, opts)
+			ap, err := apriori.Mine(t.Context(), ds, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -74,11 +76,11 @@ func TestMatchesAprioriByPackets(t *testing.T) {
 		ds := randomDataset(seed, 150)
 		for _, minSup := range []uint64{50, 400, 2000} {
 			opts := Options{MinSupport: minSup, ByPackets: true}
-			fp, err := Mine(ds, opts)
+			fp, err := Mine(t.Context(), ds, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			ap, err := apriori.Mine(ds, opts)
+			ap, err := apriori.Mine(t.Context(), ds, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -91,11 +93,11 @@ func TestMaxLenAgreement(t *testing.T) {
 	ds := randomDataset(9, 120)
 	for maxLen := 1; maxLen <= 5; maxLen++ {
 		opts := Options{MinSupport: 4, MaxLen: maxLen}
-		fp, err := Mine(ds, opts)
+		fp, err := Mine(t.Context(), ds, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ap, err := apriori.Mine(ds, opts)
+		ap, err := apriori.Mine(t.Context(), ds, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,13 +112,13 @@ func TestMaxLenAgreement(t *testing.T) {
 
 func TestZeroSupportRejected(t *testing.T) {
 	ds := randomDataset(1, 10)
-	if _, err := Mine(ds, Options{MinSupport: 0}); err != apriori.ErrZeroSupport {
+	if _, err := Mine(t.Context(), ds, Options{MinSupport: 0}); err != apriori.ErrZeroSupport {
 		t.Fatalf("got %v, want ErrZeroSupport", err)
 	}
 }
 
 func TestEmptyDataset(t *testing.T) {
-	got, err := Mine(itemset.FromRecords(nil), Options{MinSupport: 1})
+	got, err := Mine(t.Context(), itemset.FromRecords(nil), Options{MinSupport: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,11 +130,11 @@ func TestEmptyDataset(t *testing.T) {
 func TestMineMaximalAgreement(t *testing.T) {
 	ds := randomDataset(31, 250)
 	opts := Options{MinSupport: 12}
-	fp, err := MineMaximal(ds, opts)
+	fp, err := MineMaximal(t.Context(), ds, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ap, err := apriori.MineMaximal(ds, opts)
+	ap, err := apriori.MineMaximal(t.Context(), ds, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,8 +150,8 @@ func TestQuickAgreementProperty(t *testing.T) {
 		if opts.ByPackets {
 			opts.MinSupport *= 20
 		}
-		fp, err1 := Mine(ds, opts)
-		ap, err2 := apriori.Mine(ds, opts)
+		fp, err1 := Mine(t.Context(), ds, opts)
+		ap, err2 := apriori.Mine(t.Context(), ds, opts)
 		if err1 != nil || err2 != nil || len(fp) != len(ap) {
 			return false
 		}
@@ -166,5 +168,14 @@ func TestQuickAgreementProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMineCancelled(t *testing.T) {
+	ds := randomDataset(3, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Mine(ctx, ds, Options{MinSupport: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Mine err = %v, want context.Canceled", err)
 	}
 }

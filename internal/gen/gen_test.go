@@ -32,7 +32,7 @@ func TestBackgroundVolume(t *testing.T) {
 		Bins:       10, StartTime: genBase, Seed: 1,
 	}
 	store, truth := generate(t, s)
-	flows, _, _, err := store.Count(truth.Span, nil)
+	flows, _, _, err := store.Count(t.Context(), truth.Span, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,11 +55,11 @@ func TestDeterminism(t *testing.T) {
 	}
 	store1, truth1 := generate(t, s)
 	store2, truth2 := generate(t, s)
-	r1, err := store1.Records(truth1.Span, nil)
+	r1, err := store1.Records(t.Context(), truth1.Span, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := store2.Records(truth2.Span, nil)
+	r2, err := store2.Records(t.Context(), truth2.Span, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestAnnotationsAndTruth(t *testing.T) {
 	// Stored annotations must round-trip: every anno-1 record is a scan
 	// flow in bin 2.
 	annoFlows := 0
-	err := store.Query(truth.Span, nil, func(r *flow.Record) error {
+	err := store.Query(t.Context(), truth.Span, nil, func(r *flow.Record) error {
 		if r.Anno == 1 {
 			annoFlows++
 			if !e1.Interval.Contains(r.Start) {
@@ -248,7 +248,7 @@ func TestDiurnalModulation(t *testing.T) {
 		Bins:       288, StartTime: genBase, Seed: 5,
 	}
 	store, truth := generate(t, s)
-	sums, err := store.Summaries(truth.Span, nil)
+	sums, err := store.Summaries(t.Context(), truth.Span, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,9 +273,9 @@ func TestBackgroundProtocolMix(t *testing.T) {
 		Bins:       2, StartTime: genBase, Seed: 13,
 	}
 	store, truth := generate(t, s)
-	tcp, _, _, _ := store.Count(truth.Span, nffilter.MustParse("proto tcp"))
-	udp, _, _, _ := store.Count(truth.Span, nffilter.MustParse("proto udp"))
-	icmp, _, _, _ := store.Count(truth.Span, nffilter.MustParse("proto icmp"))
+	tcp, _, _, _ := store.Count(t.Context(), truth.Span, nffilter.MustParse("proto tcp"))
+	udp, _, _, _ := store.Count(t.Context(), truth.Span, nffilter.MustParse("proto udp"))
+	icmp, _, _, _ := store.Count(t.Context(), truth.Span, nffilter.MustParse("proto icmp"))
 	total := tcp + udp + icmp
 	if total == 0 {
 		t.Fatal("no traffic")

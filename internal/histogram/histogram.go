@@ -16,6 +16,7 @@
 package histogram
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -99,6 +100,18 @@ func New(cfg Config) (*Detector, error) {
 	return &Detector{cfg: cfg}, nil
 }
 
+// init registers the detector under its public name; the factory accepts
+// a histogram.Config (or nil for defaults).
+func init() {
+	detector.MustRegister("histogram", func(cfg any) (detector.Detector, error) {
+		c, err := detector.CoerceConfig(cfg, DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("histogram: %w", err)
+		}
+		return New(c)
+	})
+}
+
 // MustNew is New that panics on configuration errors.
 func MustNew(cfg Config) *Detector {
 	d, err := New(cfg)
@@ -128,7 +141,7 @@ type featState struct {
 // bins inside span in time order, maintaining reference histograms, and
 // returns one alarm per (bin, feature) whose KL distance exceeds the
 // adaptive threshold.
-func (d *Detector) Detect(store *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
+func (d *Detector) Detect(ctx context.Context, store *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
 	bins, err := store.Bins()
 	if err != nil {
 		return nil, err
@@ -152,7 +165,7 @@ func (d *Detector) Detect(store *nfstore.Store, span flow.Interval) ([]detector.
 			hists[f] = stats.NewDist()
 			values[f] = make(map[uint32]*stats.Dist)
 		}
-		err := store.Query(iv, nil, func(r *flow.Record) error {
+		err := store.Query(ctx, iv, nil, func(r *flow.Record) error {
 			w := float64(d.cfg.Weight.Of(r))
 			for _, f := range d.cfg.Features {
 				v := f.Value(r)

@@ -89,7 +89,7 @@ func TestConfigValidation(t *testing.T) {
 func TestQuietTraceRaisesNoAlarms(t *testing.T) {
 	store, span := buildTrace(t, 24, -1)
 	d := MustNew(DefaultConfig())
-	alarms, err := d.Detect(store, span)
+	alarms, err := d.Detect(t.Context(), store, span)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestScanDetectedWithMeta(t *testing.T) {
 	const scanBin = 18
 	store, span := buildTrace(t, 24, scanBin)
 	d := MustNew(DefaultConfig())
-	alarms, err := d.Detect(store, span)
+	alarms, err := d.Detect(t.Context(), store, span)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestTrainingPrefixSilent(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.TrainBins = 12
 	d := MustNew(cfg)
-	alarms, err := d.Detect(store, span)
+	alarms, err := d.Detect(t.Context(), store, span)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +162,11 @@ func TestTrainingPrefixSilent(t *testing.T) {
 func TestDetectDeterministic(t *testing.T) {
 	store, span := buildTrace(t, 20, 15)
 	d := MustNew(DefaultConfig())
-	a1, err := d.Detect(store, span)
+	a1, err := d.Detect(t.Context(), store, span)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := d.Detect(store, span)
+	a2, err := d.Detect(t.Context(), store, span)
 	if err != nil {
 		t.Fatal(err)
 	}

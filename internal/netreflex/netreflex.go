@@ -22,6 +22,7 @@
 package netreflex
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -108,6 +109,18 @@ func New(cfg Config) (*Detector, error) {
 	return &Detector{cfg: cfg, pca: inner}, nil
 }
 
+// init registers the detector under its public name; the factory accepts
+// a netreflex.Config (or nil for defaults).
+func init() {
+	detector.MustRegister("netreflex", func(cfg any) (detector.Detector, error) {
+		c, err := detector.CoerceConfig(cfg, DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("netreflex: %w", err)
+		}
+		return New(c)
+	})
+}
+
 // MustNew is New that panics on error.
 func MustNew(cfg Config) *Detector {
 	d, err := New(cfg)
@@ -123,14 +136,14 @@ func (d *Detector) Name() string { return "netreflex" }
 // Detect implements detector.Detector: run the subspace detector, then
 // classify each alarm and replace its meta-data with the dominant
 // signature's fine-grained items.
-func (d *Detector) Detect(store *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
-	raw, err := d.pca.Detect(store, span)
+func (d *Detector) Detect(ctx context.Context, store *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
+	raw, err := d.pca.Detect(ctx, store, span)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]detector.Alarm, 0, len(raw))
 	for _, a := range raw {
-		kind, meta, err := d.classify(store, a.Interval)
+		kind, meta, err := d.classify(ctx, store, a.Interval)
 		if err != nil {
 			return nil, err
 		}
@@ -167,7 +180,7 @@ type intervalStats struct {
 }
 
 // gatherStats aggregates the structure of one interval's flows.
-func gatherStats(store *nfstore.Store, iv flow.Interval) (*intervalStats, error) {
+func gatherStats(ctx context.Context, store *nfstore.Store, iv flow.Interval) (*intervalStats, error) {
 	st := &intervalStats{
 		pairFlows:   map[pairKey]uint64{},
 		pairPackets: map[pairKey]uint64{},
@@ -181,7 +194,7 @@ func gatherStats(store *nfstore.Store, iv flow.Interval) (*intervalStats, error)
 		dstFlows:    map[flow.IP]uint64{},
 		dstDstPort:  map[flow.IP]map[uint16]uint64{},
 	}
-	err := store.Query(iv, nil, func(r *flow.Record) error {
+	err := store.Query(ctx, iv, nil, func(r *flow.Record) error {
 		st.totalFlows++
 		pk := pairKey{src: r.SrcIP, dst: r.DstIP}
 		st.pairFlows[pk]++
@@ -206,8 +219,8 @@ func gatherStats(store *nfstore.Store, iv flow.Interval) (*intervalStats, error)
 // classify inspects the flows of the flagged interval — relative to the
 // preceding baseline bin — and derives the anomaly kind plus the dominant
 // signature's meta-data.
-func (d *Detector) classify(store *nfstore.Store, iv flow.Interval) (detector.Kind, []detector.MetaItem, error) {
-	st, err := gatherStats(store, iv)
+func (d *Detector) classify(ctx context.Context, store *nfstore.Store, iv flow.Interval) (detector.Kind, []detector.MetaItem, error) {
+	st, err := gatherStats(ctx, store, iv)
 	if err != nil {
 		return detector.KindUnknown, nil, err
 	}
@@ -219,7 +232,7 @@ func (d *Detector) classify(store *nfstore.Store, iv flow.Interval) (detector.Ki
 	span := iv.End - iv.Start
 	base := &intervalStats{}
 	if iv.Start >= span {
-		base, err = gatherStats(store, flow.Interval{Start: iv.Start - span, End: iv.Start})
+		base, err = gatherStats(ctx, store, flow.Interval{Start: iv.Start - span, End: iv.Start})
 		if err != nil {
 			return detector.KindUnknown, nil, err
 		}

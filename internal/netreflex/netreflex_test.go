@@ -30,7 +30,7 @@ func runScenario(t *testing.T, placements []gen.Placement, seed uint64) ([]detec
 		t.Fatal(err)
 	}
 	d := MustNew(DefaultConfig())
-	alarms, err := d.Detect(store, truth.Span)
+	alarms, err := d.Detect(t.Context(), store, truth.Span)
 	if err != nil {
 		t.Fatal(err)
 	}

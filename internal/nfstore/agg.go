@@ -1,6 +1,7 @@
 package nfstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -57,9 +58,9 @@ type KeyCount struct {
 // TopN aggregates matching records by a single traffic feature and returns
 // the k heaviest values — nfdump's "-s" statistic, which the paper's GUI
 // surfaces next to extracted itemsets.
-func (s *Store) TopN(iv flow.Interval, filter *nffilter.Filter, feat flow.Feature, weight Weight, k int) ([]KeyCount, error) {
+func (s *Store) TopN(ctx context.Context, iv flow.Interval, filter *nffilter.Filter, feat flow.Feature, weight Weight, k int) ([]KeyCount, error) {
 	acc := make(map[uint32]uint64)
-	err := s.Query(iv, filter, func(r *flow.Record) error {
+	err := s.Query(ctx, iv, filter, func(r *flow.Record) error {
 		acc[feat.Value(r)] += weight.Of(r)
 		return nil
 	})
@@ -94,7 +95,7 @@ type BinSummary struct {
 // Summaries returns one BinSummary per on-disk bin overlapping iv, in time
 // order. Bins with no matching records still produce a (zero) summary so
 // time series stay gap-free for the detectors.
-func (s *Store) Summaries(iv flow.Interval, filter *nffilter.Filter) ([]BinSummary, error) {
+func (s *Store) Summaries(ctx context.Context, iv flow.Interval, filter *nffilter.Filter) ([]BinSummary, error) {
 	bins, err := s.Bins()
 	if err != nil {
 		return nil, err
@@ -106,7 +107,7 @@ func (s *Store) Summaries(iv flow.Interval, filter *nffilter.Filter) ([]BinSumma
 			continue
 		}
 		sum := BinSummary{Bin: seg}
-		err := s.Query(seg, filter, func(r *flow.Record) error {
+		err := s.Query(ctx, seg, filter, func(r *flow.Record) error {
 			sum.Flows++
 			sum.Packets += r.Packets
 			sum.Bytes += r.Bytes

@@ -57,7 +57,7 @@ func TestConcurrentWriterAndReaders(t *testing.T) {
 					return
 				default:
 				}
-				flows, _, _, err := s.Count(flow.Interval{Start: 0, End: 300}, nil)
+				flows, _, _, err := s.Count(t.Context(), flow.Interval{Start: 0, End: 300}, nil)
 				if err != nil {
 					t.Error(err)
 					return

@@ -2,6 +2,7 @@ package nfstore
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -241,10 +242,17 @@ func (s *Store) Span() (iv flow.Interval, ok bool, err error) {
 // early without reporting an error to the caller.
 var ErrStopIteration = errors.New("nfstore: stop iteration")
 
+// ctxCheckStride is how many records a segment scan processes between
+// context checks: frequent enough that cancellation lands well within one
+// segment, rare enough that Err()'s mutex never shows up in profiles.
+const ctxCheckStride = 1024
+
 // Query streams every record whose start time falls in iv and which
 // matches filter (nil means all) to fn, in bin order. The *flow.Record
 // passed to fn is reused between calls: copy it if it must outlive fn.
-func (s *Store) Query(iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
+// Cancelling ctx aborts the scan within one record stride and returns
+// ctx.Err().
+func (s *Store) Query(ctx context.Context, iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
 	bins, err := s.Bins()
 	if err != nil {
 		return err
@@ -252,11 +260,14 @@ func (s *Store) Query(iv flow.Interval, filter *nffilter.Filter, fn func(*flow.R
 	var rec flow.Record
 	buf := make([]byte, RecordSize)
 	for _, bin := range bins {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		seg := flow.Interval{Start: bin, End: bin + s.binSeconds}
 		if !seg.Overlaps(iv) {
 			continue
 		}
-		if err := s.scanSegment(bin, buf, &rec, iv, filter, fn); err != nil {
+		if err := s.scanSegment(ctx, bin, buf, &rec, iv, filter, fn); err != nil {
 			if errors.Is(err, ErrStopIteration) {
 				return nil
 			}
@@ -267,7 +278,7 @@ func (s *Store) Query(iv flow.Interval, filter *nffilter.Filter, fn func(*flow.R
 }
 
 // scanSegment streams one segment file through fn.
-func (s *Store) scanSegment(bin uint32, buf []byte, rec *flow.Record, iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
+func (s *Store) scanSegment(ctx context.Context, bin uint32, buf []byte, rec *flow.Record, iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
 	f, err := os.Open(s.segPath(bin))
 	if err != nil {
 		return fmt.Errorf("nfstore: open segment %d: %w", bin, err)
@@ -285,7 +296,12 @@ func (s *Store) scanSegment(bin uint32, buf []byte, rec *flow.Record, iv flow.In
 	if gotBin != bin || gotBinSec != s.binSeconds {
 		return fmt.Errorf("nfstore: segment %d header mismatch (bin %d, width %d)", bin, gotBin, gotBinSec)
 	}
-	for {
+	for n := 0; ; n++ {
+		if n%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if _, err := io.ReadFull(br, buf); err != nil {
 			if err == io.EOF {
 				return nil
@@ -310,9 +326,9 @@ func (s *Store) scanSegment(bin uint32, buf []byte, rec *flow.Record, iv flow.In
 
 // Records collects matching records into a slice. Convenience wrapper over
 // Query for callers (like the miner) that need random access.
-func (s *Store) Records(iv flow.Interval, filter *nffilter.Filter) ([]flow.Record, error) {
+func (s *Store) Records(ctx context.Context, iv flow.Interval, filter *nffilter.Filter) ([]flow.Record, error) {
 	var out []flow.Record
-	err := s.Query(iv, filter, func(r *flow.Record) error {
+	err := s.Query(ctx, iv, filter, func(r *flow.Record) error {
 		out = append(out, *r)
 		return nil
 	})
@@ -322,8 +338,8 @@ func (s *Store) Records(iv flow.Interval, filter *nffilter.Filter) ([]flow.Recor
 // Count returns the number of matching flow records and their packet and
 // byte totals — the three volume dimensions the paper's miner weights
 // itemsets by.
-func (s *Store) Count(iv flow.Interval, filter *nffilter.Filter) (flows, packets, bytes uint64, err error) {
-	err = s.Query(iv, filter, func(r *flow.Record) error {
+func (s *Store) Count(ctx context.Context, iv flow.Interval, filter *nffilter.Filter) (flows, packets, bytes uint64, err error) {
+	err = s.Query(ctx, iv, filter, func(r *flow.Record) error {
 		flows++
 		packets += r.Packets
 		bytes += r.Bytes

@@ -78,7 +78,7 @@ func TestCreateOpenRoundTrip(t *testing.T) {
 	if s2.BinSeconds() != 600 {
 		t.Fatalf("BinSeconds = %d", s2.BinSeconds())
 	}
-	got, err := s2.Records(flow.Interval{Start: 0, End: 10000}, nil)
+	got, err := s2.Records(t.Context(), flow.Interval{Start: 0, End: 10000}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestBinRouting(t *testing.T) {
 		t.Fatalf("Span = %+v", span)
 	}
 	// Interval query must honor record-level bounds, not only bins.
-	got, err := s.Records(flow.Interval{Start: 200, End: 301}, nil)
+	got, err := s.Records(t.Context(), flow.Interval{Start: 200, End: 301}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,14 +163,14 @@ func TestQueryFilterPushdown(t *testing.T) {
 		t.Fatal(err)
 	}
 	iv := flow.Interval{Start: 0, End: 1000}
-	got, err := s.Records(iv, nffilter.MustParse("dst port 80"))
+	got, err := s.Records(t.Context(), iv, nffilter.MustParse("dst port 80"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 25 {
 		t.Fatalf("filtered query returned %d, want 25", len(got))
 	}
-	flows, packets, bytes, err := s.Count(iv, nffilter.MustParse("dst port 443"))
+	flows, packets, bytes, err := s.Count(t.Context(), iv, nffilter.MustParse("dst port 443"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestQueryEarlyStop(t *testing.T) {
 	}
 	s.Flush()
 	n := 0
-	err := s.Query(flow.Interval{Start: 0, End: 100}, nil, func(*flow.Record) error {
+	err := s.Query(t.Context(), flow.Interval{Start: 0, End: 100}, nil, func(*flow.Record) error {
 		n++
 		if n == 3 {
 			return ErrStopIteration
@@ -212,7 +212,7 @@ func TestQueryReusesRecord(t *testing.T) {
 	}
 	s.Flush()
 	var ptrs []*flow.Record
-	s.Query(flow.Interval{Start: 0, End: 100}, nil, func(r *flow.Record) error {
+	s.Query(t.Context(), flow.Interval{Start: 0, End: 100}, nil, func(r *flow.Record) error {
 		ptrs = append(ptrs, r)
 		return nil
 	})
@@ -239,7 +239,7 @@ func TestTruncatedSegmentDetected(t *testing.T) {
 	if err := os.Truncate(path, st.Size()-5); err != nil {
 		t.Fatal(err)
 	}
-	err = s.Query(flow.Interval{Start: 0, End: 100}, nil, func(*flow.Record) error { return nil })
+	err = s.Query(t.Context(), flow.Interval{Start: 0, End: 100}, nil, func(*flow.Record) error { return nil })
 	if err == nil {
 		t.Fatal("truncated segment must be reported")
 	}
@@ -279,7 +279,7 @@ func TestAppendAfterReopen(t *testing.T) {
 	}
 	s2.Close()
 
-	got, err := s2.Records(flow.Interval{Start: 0, End: 300}, nil)
+	got, err := s2.Records(t.Context(), flow.Interval{Start: 0, End: 300}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +302,7 @@ func TestTopN(t *testing.T) {
 	s.Flush()
 	iv := flow.Interval{Start: 0, End: 300}
 
-	byFlows, err := s.TopN(iv, nil, flow.FeatDstPort, ByFlows, 1)
+	byFlows, err := s.TopN(t.Context(), iv, nil, flow.FeatDstPort, ByFlows, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +310,7 @@ func TestTopN(t *testing.T) {
 		t.Fatalf("TopN by flows = %+v", byFlows)
 	}
 
-	byPackets, err := s.TopN(iv, nil, flow.FeatDstPort, ByPackets, 1)
+	byPackets, err := s.TopN(t.Context(), iv, nil, flow.FeatDstPort, ByPackets, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +326,7 @@ func TestSummaries(t *testing.T) {
 		s.Add(&r)
 	}
 	s.Flush()
-	sums, err := s.Summaries(flow.Interval{Start: 0, End: 600}, nil)
+	sums, err := s.Summaries(t.Context(), flow.Interval{Start: 0, End: 600}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@
 package pca
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -156,6 +157,18 @@ func New(cfg Config) (*Detector, error) {
 	return &Detector{cfg: cfg}, nil
 }
 
+// init registers the detector under its public name; the factory accepts
+// a pca.Config (or nil for defaults).
+func init() {
+	detector.MustRegister("pca", func(cfg any) (detector.Detector, error) {
+		c, err := detector.CoerceConfig(cfg, DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("pca: %w", err)
+		}
+		return New(c)
+	})
+}
+
 // MustNew is New that panics on config errors.
 func MustNew(cfg Config) *Detector {
 	d, err := New(cfg)
@@ -201,8 +214,8 @@ type binData struct {
 }
 
 // Detect implements detector.Detector.
-func (d *Detector) Detect(store *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
-	bins, data, numPoPs, err := d.collect(store, span)
+func (d *Detector) Detect(ctx context.Context, store *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
+	bins, data, numPoPs, err := d.collect(ctx, store, span)
 	if err != nil {
 		return nil, err
 	}
@@ -360,7 +373,7 @@ func covarianceOfRows(m *linalg.Matrix, keep []bool) *linalg.Matrix {
 
 // collect performs the single store pass building per-bin, per-PoP
 // distributions and volume counters.
-func (d *Detector) collect(store *nfstore.Store, span flow.Interval) ([]uint32, []binData, int, error) {
+func (d *Detector) collect(ctx context.Context, store *nfstore.Store, span flow.Interval) ([]uint32, []binData, int, error) {
 	all, err := store.Bins()
 	if err != nil {
 		return nil, nil, 0, err
@@ -390,7 +403,7 @@ func (d *Detector) collect(store *nfstore.Store, span flow.Interval) ([]uint32, 
 		if numPoPs > 0 {
 			grow(numPoPs - 1)
 		}
-		err := store.Query(iv, nil, func(r *flow.Record) error {
+		err := store.Query(ctx, iv, nil, func(r *flow.Record) error {
 			pop := int(r.Router)
 			if d.cfg.NumPoPs > 0 && pop >= d.cfg.NumPoPs {
 				pop = d.cfg.NumPoPs - 1 // clamp stray indexes

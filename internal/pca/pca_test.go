@@ -121,7 +121,7 @@ func TestConfigValidation(t *testing.T) {
 func TestTooFewBins(t *testing.T) {
 	store, _ := buildTrace(t, nil)
 	d := MustNew(DefaultConfig())
-	_, err := d.Detect(store, flow.Interval{Start: testBase, End: testBase + 3*300})
+	_, err := d.Detect(t.Context(), store, flow.Interval{Start: testBase, End: testBase + 3*300})
 	if err == nil {
 		t.Fatal("detection over 3 bins must fail (MinBins)")
 	}
@@ -130,7 +130,7 @@ func TestTooFewBins(t *testing.T) {
 func TestQuietTraceFewAlarms(t *testing.T) {
 	store, span := buildTrace(t, nil)
 	d := MustNew(DefaultConfig())
-	alarms, err := d.Detect(store, span)
+	alarms, err := d.Detect(t.Context(), store, span)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestQuietTraceFewAlarms(t *testing.T) {
 func TestScanDetected(t *testing.T) {
 	store, span := buildTrace(t, []anomalySpec{{bin: 20, kind: "scan"}})
 	d := MustNew(DefaultConfig())
-	alarms, err := d.Detect(store, span)
+	alarms, err := d.Detect(t.Context(), store, span)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestVolumeFloodDetectedOnlyWithVolumeChannels(t *testing.T) {
 
 	// With volume channels: detected.
 	d := MustNew(DefaultConfig())
-	alarms, err := d.Detect(store, span)
+	alarms, err := d.Detect(t.Context(), store, span)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestVolumeFloodDetectedOnlyWithVolumeChannels(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.IncludeVolume = false
 	d2 := MustNew(cfg)
-	alarms2, err := d2.Detect(store, span)
+	alarms2, err := d2.Detect(t.Context(), store, span)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestBothAnomaliesDetected(t *testing.T) {
 		{bin: 24, kind: "flood"},
 	})
 	d := MustNew(DefaultConfig())
-	alarms, err := d.Detect(store, span)
+	alarms, err := d.Detect(t.Context(), store, span)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,11 +234,11 @@ func TestBothAnomaliesDetected(t *testing.T) {
 func TestDeterministic(t *testing.T) {
 	store, span := buildTrace(t, []anomalySpec{{bin: 15, kind: "scan"}})
 	d := MustNew(DefaultConfig())
-	a1, err := d.Detect(store, span)
+	a1, err := d.Detect(t.Context(), store, span)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := d.Detect(store, span)
+	a2, err := d.Detect(t.Context(), store, span)
 	if err != nil {
 		t.Fatal(err)
 	}

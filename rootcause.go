@@ -18,23 +18,58 @@
 // support) for one alarm and returns the ranked itemsets summarizing the
 // anomalous flows, each carrying a drill-down filter for the raw flows.
 //
+// # Contexts
+//
+// Every operation that touches the flow store takes a context.Context
+// first. Cancellation is honored inside the hot paths — segment scans,
+// the Apriori/FP-growth mining loops, and batch extraction workers — so
+// a deadline or cancel aborts a long analysis promptly with ctx.Err().
+//
+// # Pluggable detectors
+//
+// Detectors live in a registry. The built-ins ("netreflex", "histogram",
+// "pca") self-register; external detector implementations plug in via
+// RegisterDetector and are then usable through System.Detect and listed
+// by DetectorNames — the paper's system "can be integrated with any
+// anomaly detection system that provides these data". Per-call
+// configuration goes through functional options:
+//
+//	ids, err := sys.Detect(ctx, "histogram", span,
+//	    rootcause.WithDetectorConfig(histogram.Config{...}))
+//	res, err := sys.Extract(ctx, id,
+//	    rootcause.WithExtractionOptions(opts))
+//
+// # Batch extraction
+//
+// ExtractAll fans extraction of many alarms across a bounded worker pool
+// and streams results as they complete:
+//
+//	for r := range sys.ExtractAll(ctx, ids, rootcause.WithConcurrency(4)) {
+//	    ...
+//	}
+//
 // See examples/ for runnable end-to-end programs and DESIGN.md for the
 // system inventory.
 package rootcause
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/alarmdb"
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/flow"
-	"repro/internal/histogram"
-	"repro/internal/netreflex"
 	"repro/internal/nffilter"
 	"repro/internal/nfstore"
-	"repro/internal/pca"
+
+	// Built-in detectors self-register into the detector registry.
+	_ "repro/internal/histogram"
+	_ "repro/internal/netreflex"
+	_ "repro/internal/pca"
 )
 
 // Re-exported types: the façade exposes the domain vocabulary without
@@ -46,6 +81,11 @@ type (
 	Interval = flow.Interval
 	// Alarm is a detector alarm with meta-data.
 	Alarm = detector.Alarm
+	// Detector is the pluggable detector contract of Figure 1.
+	Detector = detector.Detector
+	// DetectorFactory builds a detector from an optional configuration
+	// value (nil = the detector's defaults).
+	DetectorFactory = detector.Factory
 	// Result is a full extraction outcome; Result.Table() renders the
 	// paper's Table 1 shape.
 	Result = core.Result
@@ -60,6 +100,59 @@ type (
 // DefaultExtractionOptions returns the engine defaults used throughout
 // the paper reproduction.
 func DefaultExtractionOptions() ExtractionOptions { return core.DefaultOptions() }
+
+// RegisterDetector adds a named detector factory to the registry, making
+// it usable through System.Detect and visible in DetectorNames. Built-in
+// detectors are pre-registered; registering an already-taken name is an
+// error.
+func RegisterDetector(name string, factory DetectorFactory) error {
+	return detector.Register(name, factory)
+}
+
+// DetectorNames lists the registered detectors, sorted by name.
+func DetectorNames() []string { return detector.Names() }
+
+// Option configures one System call. Options not meaningful for a call
+// are ignored.
+type Option func(*callOptions)
+
+// callOptions is the resolved per-call configuration.
+type callOptions struct {
+	extraction  *ExtractionOptions
+	detectorCfg any
+	concurrency int
+	// extractFn substitutes the extraction engine; a test seam for
+	// exercising ExtractAll's pool without real mining.
+	extractFn func(ctx context.Context, a *Alarm) (*Result, error)
+}
+
+// WithExtractionOptions overrides the system's extraction engine options
+// for one Extract/ExtractAlarm/ExtractAll call.
+func WithExtractionOptions(opts ExtractionOptions) Option {
+	return func(o *callOptions) { o.extraction = &opts }
+}
+
+// WithDetectorConfig passes a detector-specific configuration value
+// (e.g. a histogram.Config) to the detector factory for one Detect call.
+// Without it the factory builds the detector with its defaults.
+func WithDetectorConfig(cfg any) Option {
+	return func(o *callOptions) { o.detectorCfg = cfg }
+}
+
+// WithConcurrency bounds the ExtractAll worker pool to k concurrent
+// extractions (default: GOMAXPROCS).
+func WithConcurrency(k int) Option {
+	return func(o *callOptions) { o.concurrency = k }
+}
+
+// resolveOptions folds the options into the call configuration.
+func resolveOptions(opts []Option) callOptions {
+	var o callOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
 
 // Config configures Open/Create.
 type Config struct {
@@ -144,32 +237,26 @@ func (s *System) Close() error {
 	return err
 }
 
-// DetectorNames lists the detectors Detect accepts.
-func DetectorNames() []string { return []string{"netreflex", "histogram", "pca"} }
+// ErrDetectorSetup marks failures building the requested detector — an
+// unknown name or a bad WithDetectorConfig value. Callers (like the HTTP
+// layer) can branch on it to distinguish caller mistakes from runtime
+// detection failures.
+var ErrDetectorSetup = errors.New("detector setup")
 
-// newDetector builds a named detector with its default configuration.
-func newDetector(name string) (detector.Detector, error) {
-	switch name {
-	case "netreflex", "":
-		return netreflex.New(netreflex.DefaultConfig())
-	case "histogram":
-		return histogram.New(histogram.DefaultConfig())
-	case "pca":
-		return pca.New(pca.DefaultConfig())
-	default:
-		return nil, fmt.Errorf("rootcause: unknown detector %q (have %v)", name, DetectorNames())
+// Detect builds the named detector from the registry ("" selects
+// "netreflex"), runs it over the span, stores the alarms in the alarm
+// database and returns their IDs. WithDetectorConfig supplies a
+// detector-specific configuration to the factory.
+func (s *System) Detect(ctx context.Context, detectorName string, span Interval, opts ...Option) ([]string, error) {
+	o := resolveOptions(opts)
+	if detectorName == "" {
+		detectorName = "netreflex"
 	}
-}
-
-// Detect runs the named detector ("netreflex", "histogram" or "pca") over
-// the span, stores the alarms in the alarm database and returns their
-// IDs.
-func (s *System) Detect(detectorName string, span Interval) ([]string, error) {
-	det, err := newDetector(detectorName)
+	det, err := detector.New(detectorName, o.detectorCfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("rootcause: %w: %w", ErrDetectorSetup, err)
 	}
-	alarms, err := det.Detect(s.store, span)
+	alarms, err := det.Detect(ctx, s.store, span)
 	if err != nil {
 		return nil, err
 	}
@@ -193,14 +280,47 @@ func (s *System) Alarm(id string) (AlarmEntry, error) { return s.alarms.Get(id) 
 // operators can branch on it.
 var ErrNoUsefulItemsets = errors.New("rootcause: extraction produced no itemsets")
 
+// extractor returns the engine for one call: the system default, or a
+// fresh one when WithExtractionOptions overrides the configuration.
+func (s *System) extractor(o *callOptions) (*core.Extractor, error) {
+	if o.extraction == nil {
+		return s.ex, nil
+	}
+	return core.New(s.store, *o.extraction)
+}
+
+// extractFn returns the extraction function for one call (the test seam
+// wins when set).
+func (s *System) extractFn(o *callOptions) (func(ctx context.Context, a *Alarm) (*Result, error), error) {
+	if o.extractFn != nil {
+		return o.extractFn, nil
+	}
+	ex, err := s.extractor(o)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Extract, nil
+}
+
 // Extract runs anomaly extraction for a stored alarm and marks it
 // analyzed. The result's Table() renders the operator view.
-func (s *System) Extract(alarmID string) (*Result, error) {
+func (s *System) Extract(ctx context.Context, alarmID string, opts ...Option) (*Result, error) {
+	o := resolveOptions(opts)
+	fn, err := s.extractFn(&o)
+	if err != nil {
+		return nil, err
+	}
+	return s.extractOne(ctx, alarmID, fn)
+}
+
+// extractOne is the shared single-alarm path of Extract and ExtractAll:
+// look up the alarm, run extraction, record the workflow status.
+func (s *System) extractOne(ctx context.Context, alarmID string, fn func(ctx context.Context, a *Alarm) (*Result, error)) (*Result, error) {
 	entry, err := s.alarms.Get(alarmID)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.ex.Extract(&entry.Alarm)
+	res, err := fn(ctx, &entry.Alarm)
 	if err != nil {
 		return nil, err
 	}
@@ -212,8 +332,90 @@ func (s *System) Extract(alarmID string) (*Result, error) {
 }
 
 // ExtractAlarm runs extraction for an ad-hoc alarm without storing it.
-func (s *System) ExtractAlarm(a *Alarm) (*Result, error) {
-	return s.ex.Extract(a)
+func (s *System) ExtractAlarm(ctx context.Context, a *Alarm, opts ...Option) (*Result, error) {
+	o := resolveOptions(opts)
+	fn, err := s.extractFn(&o)
+	if err != nil {
+		return nil, err
+	}
+	return fn(ctx, a)
+}
+
+// ExtractResult is one streamed outcome of ExtractAll.
+type ExtractResult struct {
+	// AlarmID names the alarm this result belongs to.
+	AlarmID string
+	// Result is the extraction outcome; nil when Err is set.
+	Result *Result
+	// Err is the per-alarm failure (unknown ID, extraction error, or
+	// ctx.Err() for alarms abandoned by cancellation).
+	Err error
+}
+
+// ExtractAll runs extraction for many stored alarms concurrently on a
+// bounded worker pool (WithConcurrency, default GOMAXPROCS) and streams
+// one ExtractResult per alarm as extractions complete, in completion
+// order. The channel is closed once the batch concludes. An uncancelled
+// batch delivers exactly len(alarmIDs) results; cancelling ctx stops the
+// pool within one worker iteration, closes the channel promptly, and
+// discards results for alarms that were still pending — so a consumer
+// that stops reading early must cancel ctx to release the pool.
+// Successful extractions mark their alarm analyzed, exactly like
+// Extract.
+func (s *System) ExtractAll(ctx context.Context, alarmIDs []string, opts ...Option) <-chan ExtractResult {
+	o := resolveOptions(opts)
+	workers := o.concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(alarmIDs) {
+		workers = len(alarmIDs)
+	}
+	// Resolve the extraction function once per batch, not per alarm; a
+	// bad WithExtractionOptions value fails every alarm identically.
+	fn, fnErr := s.extractFn(&o)
+
+	out := make(chan ExtractResult)
+	jobs := make(chan string)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range jobs {
+				var r ExtractResult
+				switch {
+				case fnErr != nil:
+					r = ExtractResult{AlarmID: id, Err: fnErr}
+				default:
+					res, err := s.extractOne(ctx, id, fn)
+					r = ExtractResult{AlarmID: id, Result: res, Err: err}
+				}
+				// Never block forever on a consumer that went away: the
+				// send races ctx so a cancelled batch always winds down.
+				select {
+				case out <- r:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, id := range alarmIDs {
+			select {
+			case jobs <- id:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
 }
 
 // SetVerdict records the operator's validation verdict for an alarm.
@@ -229,7 +431,7 @@ func (s *System) SetVerdict(alarmID string, validated bool, note string) error {
 // nfdump-style filter expression ("src ip 10.0.0.1 and dst port 80");
 // empty filter returns everything. This is the GUI's drill-down: the
 // paper's operator can "investigate the flows of any returned itemset".
-func (s *System) Flows(iv Interval, filterExpr string) ([]Record, error) {
+func (s *System) Flows(ctx context.Context, iv Interval, filterExpr string) ([]Record, error) {
 	var f *nffilter.Filter
 	if filterExpr != "" {
 		var err error
@@ -238,10 +440,10 @@ func (s *System) Flows(iv Interval, filterExpr string) ([]Record, error) {
 			return nil, err
 		}
 	}
-	return s.store.Records(iv, f)
+	return s.store.Records(ctx, iv, f)
 }
 
 // ItemsetFlows returns the raw flows behind one extracted itemset row.
-func (s *System) ItemsetFlows(iv Interval, rep *ItemsetReport) ([]Record, error) {
-	return s.store.Records(iv, rep.Filter())
+func (s *System) ItemsetFlows(ctx context.Context, iv Interval, rep *ItemsetReport) ([]Record, error) {
+	return s.store.Records(ctx, iv, rep.Filter())
 }

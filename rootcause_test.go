@@ -45,7 +45,7 @@ func TestFigure1Architecture(t *testing.T) {
 	}
 
 	// 2. Detect: NetReflex files alarms into the DB.
-	ids, err := sys.Detect("netreflex", truth.Span)
+	ids, err := sys.Detect(t.Context(), "netreflex", truth.Span)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestFigure1Architecture(t *testing.T) {
 	}
 
 	// 3. Extract: the itemsets must summarize the scan.
-	res, err := sys.Extract(alarmID)
+	res, err := sys.Extract(t.Context(), alarmID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestFigure1Architecture(t *testing.T) {
 	}
 
 	// 4. Drill down: raw flows behind the top itemset are the scan flows.
-	flows, err := sys.ItemsetFlows(res.Alarm.Interval, &res.Itemsets[0])
+	flows, err := sys.ItemsetFlows(t.Context(), res.Alarm.Interval, &res.Itemsets[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestFigure1Architecture(t *testing.T) {
 	}
 
 	// 5. Textual filter drill-down (the GUI's free-form query).
-	manual, err := sys.Flows(res.Alarm.Interval, "src ip "+scanner.String()+" and src port 55548")
+	manual, err := sys.Flows(t.Context(), res.Alarm.Interval, "src ip "+scanner.String()+" and src port 55548")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestFileExternalAlarm(t *testing.T) {
 			{Feature: flow.FeatSrcIP, Value: uint32(scanner)},
 		},
 	})
-	res, err := sys.Extract(id)
+	res, err := sys.Extract(t.Context(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestUnknownDetectorRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sys.Close()
-	if _, err := sys.Detect("frobnicator", rootcause.Interval{Start: 0, End: 300}); err == nil {
+	if _, err := sys.Detect(t.Context(), "frobnicator", rootcause.Interval{Start: 0, End: 300}); err == nil {
 		t.Fatal("unknown detector must be rejected")
 	}
 }
@@ -196,7 +196,7 @@ func TestBadFilterExpression(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sys.Close()
-	if _, err := sys.Flows(rootcause.Interval{Start: 0, End: 300}, "bogus filter"); err == nil {
+	if _, err := sys.Flows(t.Context(), rootcause.Interval{Start: 0, End: 300}, "bogus filter"); err == nil {
 		t.Fatal("bad filter must be rejected")
 	}
 }
@@ -214,7 +214,7 @@ func TestAddFlows(t *testing.T) {
 	if err := sys.AddFlows(recs); err != nil {
 		t.Fatal(err)
 	}
-	got, err := sys.Flows(rootcause.Interval{Start: 0, End: 300}, "dst port 80")
+	got, err := sys.Flows(t.Context(), rootcause.Interval{Start: 0, End: 300}, "dst port 80")
 	if err != nil {
 		t.Fatal(err)
 	}
