@@ -26,6 +26,22 @@ func main() {
 		from     = flag.Uint("from", 0, "span start, unix seconds (0 = store start)")
 		to       = flag.Uint("to", 0, "span end, unix seconds (0 = store end)")
 	)
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), `usage: detect -store DIR [flags]
+
+Run an anomaly detector over a flow store and file the resulting alarms
+into the alarm database — the left half of the paper's Figure 1. The
+filed alarm IDs feed extract / rcad.
+
+Registered detectors: netreflex (default), histogram, pca.
+
+Example:
+  detect -store /tmp/flows -detector netreflex
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "detect: -store is required")

@@ -39,6 +39,25 @@ func main() {
 		flowOnly  = flag.Bool("flow-only", false, "classic Apriori: flow support only (no packet pass)")
 		showFlows = flag.Int("show-flows", 0, "print up to N raw flows of the top itemset")
 	)
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), `usage: extract -store DIR (-id ALARM | -from UNIX -to UNIX [-meta ITEMS]) [flags]
+
+Run the paper's extended-Apriori anomaly extraction for one stored alarm
+(or an ad-hoc interval) and print the ranked itemsets in the shape of
+the paper's Table 1.
+
+Ad-hoc meta-data (-meta) is a comma-separated feature=value list over
+srcIP, dstIP, srcPort, dstPort, proto.
+
+Examples:
+  extract -store /tmp/flows -alarmdb /tmp/flows/alarms.json -id 1
+  extract -store /tmp/flows -from 1300000800 -to 1300001100 \
+          -meta "srcIP=10.191.64.165,dstPort=80"
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "extract: -store is required")

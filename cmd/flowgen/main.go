@@ -39,6 +39,27 @@ func main() {
 		anomBin  = flag.Int("anomaly-bin", -1, "bin index for the anomaly (-1 = 2/3 of the trace)")
 		diurnal  = flag.Bool("diurnal", false, "modulate background volume diurnally")
 	)
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), `usage: flowgen -out DIR [flags]
+
+Generate a labeled synthetic NetFlow trace into a new flow store — the
+stand-in for the GEANT/SWITCH feeds of the paper's deployments. The
+ground-truth table of injected anomalies is printed on success.
+
+Scenarios (-scenario):
+  quiet      background traffic only
+  portscan   one scanner sweeping a victim's ports
+  ddos       distributed SYN flood on one victim
+  udpflood   point-to-point UDP flood (few flows, many packets)
+  table1     the paper's Table 1 situation: two scanners + two DDoS
+
+Example:
+  flowgen -out /tmp/flows -scenario portscan -bins 30 -sample 100
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "flowgen: -out is required")

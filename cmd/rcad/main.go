@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	rcad -store /tmp/flows -alarmdb /tmp/alarms.json -listen :8642
+//	rcad -store /tmp/flows -alarmdb /tmp/alarms.json -listen :8642 \
+//	     -query-parallelism 8
 //
 // Endpoints:
 //
@@ -54,14 +55,42 @@ func main() {
 		dbPath   = flag.String("alarmdb", "", "alarm database JSON path")
 		listen   = flag.String("listen", ":8642", "listen address")
 		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain timeout")
+		queryPar = flag.Int("query-parallelism", 0,
+			"concurrent segment scans per store query (0 = min(GOMAXPROCS, 8), 1 = serial)")
 	)
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), `usage: rcad -store DIR [flags]
+
+Serve the HTTP JSON backend of the paper's operator GUI: listing
+alarms, running detection and extraction, drilling down to raw flows
+with nfdump-style filters, and recording verdicts.
+
+Endpoints:
+  GET  /api/health                (includes query_stats scan counters)
+  GET  /api/detectors
+  POST /api/detect                {"detector":"netreflex","from":U,"to":U}
+  GET  /api/alarms?from=U&to=U
+  GET  /api/alarms/{id}
+  POST /api/alarms/{id}/extract
+  POST /api/extract-batch         {"alarm_ids":["1","2"],"concurrency":4}
+  POST /api/alarms/{id}/verdict   {"validated":true,"note":"..."}
+  GET  /api/flows?from=U&to=U&filter=EXPR&limit=N
+
+Example:
+  rcad -store /tmp/flows -alarmdb /tmp/flows/alarms.json -listen :8642
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "rcad: -store is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	sys, err := rootcause.Open(rootcause.Config{StoreDir: *storeDir, AlarmDBPath: *dbPath})
+	sys, err := rootcause.Open(rootcause.Config{StoreDir: *storeDir, AlarmDBPath: *dbPath},
+		rootcause.WithQueryParallelism(*queryPar))
 	if err != nil {
 		log.Fatal("rcad: ", err)
 	}
@@ -187,9 +216,10 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"store_span": span.String(),
-		"has_data":   ok,
+		"status":      "ok",
+		"store_span":  span.String(),
+		"has_data":    ok,
+		"query_stats": s.sys.QueryStats(),
 	})
 }
 

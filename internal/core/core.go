@@ -236,6 +236,11 @@ var ErrNoCandidates = errors.New("core: alarm interval contains no flows")
 // Extract runs the full extended-Apriori extraction for one alarm.
 // Cancelling ctx aborts the candidate scan, the mining passes and the
 // baseline pass promptly, returning ctx.Err().
+//
+// The candidate and baseline scans ride the store's pruned parallel query
+// engine: the meta pre-filter is exactly the kind of selective filter
+// whose zone-map pruning skips every segment outside the anomaly, so the
+// prefiltered pass typically opens only the alarm interval's own bins.
 func (e *Extractor) Extract(ctx context.Context, alarm *detector.Alarm) (*Result, error) {
 	res := &Result{Alarm: *alarm}
 

@@ -1,6 +1,7 @@
 // Package gen generates the synthetic labeled NetFlow traces that stand in
 // for the proprietary GEANT and SWITCH traces of the paper's evaluation
-// (see DESIGN.md §2 for the substitution argument).
+// (see the trace-generation row of DESIGN.md §1 for the substitution
+// argument).
 //
 // A Scenario combines a Background traffic model — Zipf-popular hosts and
 // services, heavy-tailed (Pareto) flow sizes, Poisson per-bin flow counts,

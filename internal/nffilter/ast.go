@@ -52,6 +52,7 @@ const (
 	CmpGe
 )
 
+// String renders the operator in filter syntax.
 func (op CmpOp) String() string {
 	switch op {
 	case CmpEq:
@@ -123,6 +124,7 @@ func (n *And) Eval(r *flow.Record) bool {
 	return true
 }
 
+// String renders the conjunction in filter syntax.
 func (n *And) String() string {
 	if len(n.Kids) == 0 {
 		return "any"
@@ -147,6 +149,7 @@ func (n *Or) Eval(r *flow.Record) bool {
 	return false
 }
 
+// String renders the disjunction in filter syntax.
 func (n *Or) String() string {
 	if len(n.Kids) == 0 {
 		return "not any"
@@ -174,6 +177,7 @@ type Not struct{ Kid Node }
 // Eval implements Node.
 func (n *Not) Eval(r *flow.Record) bool { return !n.Kid.Eval(r) }
 
+// String renders the negation in filter syntax.
 func (n *Not) String() string {
 	switch n.Kid.(type) {
 	case *And, *Or:
@@ -188,7 +192,9 @@ type Any struct{}
 
 // Eval implements Node.
 func (Any) Eval(*flow.Record) bool { return true }
-func (Any) String() string         { return "any" }
+
+// String implements Node.
+func (Any) String() string { return "any" }
 
 // IPMatch matches an exact address on the selected side(s).
 type IPMatch struct {
@@ -208,6 +214,7 @@ func (n *IPMatch) Eval(r *flow.Record) bool {
 	}
 }
 
+// String renders the predicate in filter syntax.
 func (n *IPMatch) String() string { return n.Dir.prefix() + "ip " + n.Addr.String() }
 
 // NetMatch matches a CIDR prefix on the selected side(s).
@@ -228,6 +235,7 @@ func (n *NetMatch) Eval(r *flow.Record) bool {
 	}
 }
 
+// String renders the predicate in filter syntax.
 func (n *NetMatch) String() string { return n.Dir.prefix() + "net " + n.Prefix.String() }
 
 // PortMatch compares a port on the selected side(s) with Op against Port.
@@ -252,6 +260,8 @@ func (n *PortMatch) Eval(r *flow.Record) bool {
 	}
 }
 
+// String renders the predicate in filter syntax (the = operator is
+// implicit, matching nfdump).
 func (n *PortMatch) String() string {
 	if n.Op == CmpEq {
 		return fmt.Sprintf("%sport %d", n.Dir.prefix(), n.Port)
@@ -287,6 +297,7 @@ const (
 	FieldRouter
 )
 
+// String names the counter field as the filter language spells it.
 func (f CounterField) String() string {
 	switch f {
 	case FieldPackets:
@@ -329,6 +340,7 @@ func (n *CounterMatch) Eval(r *flow.Record) bool {
 	return n.Op.apply(n.Field.value(r), n.Value)
 }
 
+// String renders the predicate in filter syntax.
 func (n *CounterMatch) String() string {
 	return fmt.Sprintf("%s %s %d", n.Field, n.Op, n.Value)
 }
@@ -341,6 +353,7 @@ type FlagsMatch struct{ Mask uint8 }
 // Eval implements Node.
 func (n *FlagsMatch) Eval(r *flow.Record) bool { return r.Flags&n.Mask == n.Mask }
 
+// String renders the predicate in filter syntax.
 func (n *FlagsMatch) String() string { return "flags " + formatFlags(n.Mask) }
 
 // flagLetters maps nfdump flag letters to bits, in render order.

@@ -57,7 +57,9 @@ type KeyCount struct {
 
 // TopN aggregates matching records by a single traffic feature and returns
 // the k heaviest values — nfdump's "-s" statistic, which the paper's GUI
-// surfaces next to extracted itemsets.
+// surfaces next to extracted itemsets. The scan runs through the pruned,
+// parallel query engine; unlike Count and Summaries it cannot be answered
+// from sidecars alone, because zone maps keep no per-value histograms.
 func (s *Store) TopN(ctx context.Context, iv flow.Interval, filter *nffilter.Filter, feat flow.Feature, weight Weight, k int) ([]KeyCount, error) {
 	acc := make(map[uint32]uint64)
 	err := s.Query(ctx, iv, filter, func(r *flow.Record) error {
@@ -95,7 +97,15 @@ type BinSummary struct {
 // Summaries returns one BinSummary per on-disk bin overlapping iv, in time
 // order. Bins with no matching records still produce a (zero) summary so
 // time series stay gap-free for the detectors.
+//
+// Bins whose sidecar proves the filter matches every record (or, for a
+// filter that cannot match, no record) are answered from the sidecar's
+// totals without opening the segment — the aggregation pushdown that makes
+// detector warm-up sweeps over long archives nearly free.
 func (s *Store) Summaries(ctx context.Context, iv flow.Interval, filter *nffilter.Filter) ([]BinSummary, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	bins, err := s.Bins()
 	if err != nil {
 		return nil, err
@@ -106,17 +116,15 @@ func (s *Store) Summaries(ctx context.Context, iv flow.Interval, filter *nffilte
 		if !seg.Overlaps(iv) {
 			continue
 		}
-		sum := BinSummary{Bin: seg}
-		err := s.Query(ctx, seg, filter, func(r *flow.Record) error {
-			sum.Flows++
-			sum.Packets += r.Packets
-			sum.Bytes += r.Bytes
-			return nil
-		})
+		// Count carries the whole fast path: sidecar pushdown when the
+		// filter provably covers the bin, zone-map pruning (a gap-free
+		// zero summary, for free) when it provably cannot match, a scan
+		// otherwise.
+		flows, packets, bytes, err := s.Count(ctx, seg, filter)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, sum)
+		out = append(out, BinSummary{Bin: seg, Flows: flows, Packets: packets, Bytes: bytes})
 	}
 	return out, nil
 }

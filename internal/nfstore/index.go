@@ -1,0 +1,172 @@
+package nfstore
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"repro/internal/flow"
+)
+
+// idxSuffix is appended to a segment path to name its zone-map sidecar
+// ("nfcapd.<bin>.idx"). The suffix keeps sidecars invisible to Bins(),
+// which only accepts purely numeric segment names.
+const idxSuffix = ".idx"
+
+// idxPath returns the sidecar path for a bin start.
+func (s *Store) idxPath(binStart uint32) string {
+	return filepath.Join(s.dir, segPrefix+strconv.FormatUint(uint64(binStart), 10)+idxSuffix)
+}
+
+// zmCache memoizes decoded sidecars by bin so repeated queries validate
+// them with one stat() instead of re-reading the file.
+type zmCache struct {
+	mu sync.RWMutex
+	m  map[uint32]*zoneMap
+}
+
+// get returns the cached zone map for a bin, if any.
+func (c *zmCache) get(bin uint32) *zoneMap {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[bin]
+}
+
+// put replaces the cached zone map for a bin.
+func (c *zmCache) put(bin uint32, z *zoneMap) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[uint32]*zoneMap{}
+	}
+	c.m[bin] = z
+	c.mu.Unlock()
+}
+
+// loadZoneMap returns a zone map that exactly covers the segment's current
+// on-disk size, or nil when no such sidecar exists (missing, corrupt, or
+// stale after further appends). A nil return means the caller must scan.
+func (s *Store) loadZoneMap(bin uint32) *zoneMap {
+	st, err := os.Stat(s.segPath(bin))
+	if err != nil {
+		return nil
+	}
+	if z := s.zmc.get(bin); z != nil && z.coveredSize == st.Size() {
+		return z
+	}
+	raw, err := os.ReadFile(s.idxPath(bin))
+	if err != nil {
+		return nil
+	}
+	z, err := decodeZoneMap(raw, bin, s.binSeconds)
+	if err != nil || z.coveredSize != st.Size() {
+		// Corrupt or stale sidecar: ignore it; a later scan rebuilds it.
+		return nil
+	}
+	s.zmc.put(bin, z)
+	return z
+}
+
+// writeZoneMap persists a sidecar atomically (temp file + rename) and
+// updates the cache. Sidecar writes are best-effort accelerators: callers
+// may ignore the error, queries stay correct without the file.
+func (s *Store) writeZoneMap(bin uint32, z *zoneMap) error {
+	if z == nil || z.count == 0 {
+		return nil
+	}
+	raw := encodeZoneMap(z, bin, s.binSeconds)
+	tmp, err := os.CreateTemp(s.dir, segPrefix+"idx-*")
+	if err != nil {
+		return fmt.Errorf("nfstore: sidecar temp: %w", err)
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("nfstore: sidecar write bin %d: %w", bin, errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), s.idxPath(bin)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("nfstore: sidecar rename bin %d: %w", bin, err)
+	}
+	s.zmc.put(bin, z)
+	s.stats.sidecarsBuilt.Add(1)
+	return nil
+}
+
+// buildZoneMap scans one segment file from the start and returns its zone
+// map. Used to seed a writer reopening a pre-index segment and by
+// BuildIndexes.
+func (s *Store) buildZoneMap(ctx context.Context, bin uint32) (*zoneMap, error) {
+	f, err := os.Open(s.segPath(bin))
+	if err != nil {
+		return nil, fmt.Errorf("nfstore: open segment %d: %w", bin, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("nfstore: segment %d header: %w", bin, err)
+	}
+	gotBin, gotBinSec, err := decodeSegHeader(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("nfstore: segment %d: %w", bin, err)
+	}
+	if gotBin != bin || gotBinSec != s.binSeconds {
+		// Same validation as a query scan: a file whose header disagrees
+		// with its name must never be summarized under that name.
+		return nil, fmt.Errorf("nfstore: segment %d header mismatch (bin %d, width %d)", bin, gotBin, gotBinSec)
+	}
+	z := newZoneMap()
+	buf := make([]byte, RecordSize)
+	var rec flow.Record
+	for n := 0; ; n++ {
+		if n%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := io.ReadFull(br, buf); err != nil {
+			if err == io.EOF {
+				return z, nil
+			}
+			return nil, fmt.Errorf("nfstore: segment %d read: %w", bin, err)
+		}
+		decodeRecord(buf, &rec)
+		z.add(&rec)
+	}
+}
+
+// BuildIndexes eagerly builds (or refreshes) the zone-map sidecar of every
+// segment whose sidecar is missing or stale, returning how many it wrote.
+// Stores predating the sidecar format work without this call — queries
+// build sidecars lazily as they scan — but a bulk build front-loads the
+// cost, e.g. right after Open on an archival store.
+func (s *Store) BuildIndexes(ctx context.Context) (built int, err error) {
+	bins, err := s.Bins()
+	if err != nil {
+		return 0, err
+	}
+	for _, bin := range bins {
+		if err := ctx.Err(); err != nil {
+			return built, err
+		}
+		if s.loadZoneMap(bin) != nil {
+			continue
+		}
+		z, err := s.buildZoneMap(ctx, bin)
+		if err != nil {
+			return built, err
+		}
+		if err := s.writeZoneMap(bin, z); err != nil {
+			return built, err
+		}
+		built++
+	}
+	return built, nil
+}

@@ -1,0 +1,364 @@
+package nfstore
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/flow"
+	"repro/internal/nffilter"
+)
+
+// The query engine plans a span scan in three steps: list the segments
+// overlapping the interval, prune the ones whose zone map proves the
+// filter cannot match, then scan the survivors — serially below the
+// parallelism threshold, otherwise on a bounded worker pool whose results
+// are merged back in deterministic bin order. The callback contract is
+// identical to a serial scan: records arrive in bin order, file order
+// within a bin, through a reused *flow.Record.
+
+// queryBatchSize is how many matched records a parallel segment worker
+// accumulates before handing them to the merger. It is kept below
+// ctxCheckStride so cancellation observed between batches still lands
+// within the documented one-stride bound.
+const queryBatchSize = 512
+
+// maxAutoParallelism caps the automatic worker count: segment scans are
+// I/O-and-decode bound, and past a handful of workers the merger becomes
+// the bottleneck.
+const maxAutoParallelism = 8
+
+// Stats is a snapshot of the store's cumulative scan counters. The
+// counters make the pruning and pushdown fast paths observable: a
+// selective filter over a well-indexed store shows SegmentsPruned close
+// to SegmentsConsidered, and sidecar-answered aggregations count under
+// SegmentsAggregated without touching RecordsScanned.
+type Stats struct {
+	// SegmentsConsidered counts segments whose bin overlapped a query span.
+	SegmentsConsidered uint64 `json:"segments_considered"`
+	// SegmentsPruned counts segments skipped because their zone map proved
+	// the filter (or the span) could not match any record.
+	SegmentsPruned uint64 `json:"segments_pruned"`
+	// SegmentsScanned counts segment files actually opened and decoded.
+	SegmentsScanned uint64 `json:"segments_scanned"`
+	// SegmentsAggregated counts segments answered entirely from their
+	// sidecar by an aggregation pushdown (Count, Summaries).
+	SegmentsAggregated uint64 `json:"segments_aggregated"`
+	// RecordsScanned counts records decoded from disk.
+	RecordsScanned uint64 `json:"records_scanned"`
+	// SidecarsBuilt counts zone-map sidecars written (at flush time or
+	// lazily while scanning an unindexed segment).
+	SidecarsBuilt uint64 `json:"sidecars_built"`
+}
+
+// storeStats holds the live atomic counters behind Stats.
+type storeStats struct {
+	segmentsConsidered atomic.Uint64
+	segmentsPruned     atomic.Uint64
+	segmentsScanned    atomic.Uint64
+	segmentsAggregated atomic.Uint64
+	recordsScanned     atomic.Uint64
+	sidecarsBuilt      atomic.Uint64
+}
+
+// Stats returns a snapshot of the store's scan counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		SegmentsConsidered: s.stats.segmentsConsidered.Load(),
+		SegmentsPruned:     s.stats.segmentsPruned.Load(),
+		SegmentsScanned:    s.stats.segmentsScanned.Load(),
+		SegmentsAggregated: s.stats.segmentsAggregated.Load(),
+		RecordsScanned:     s.stats.recordsScanned.Load(),
+		SidecarsBuilt:      s.stats.sidecarsBuilt.Load(),
+	}
+}
+
+// ResetStats zeroes the scan counters (between benchmark phases, say).
+func (s *Store) ResetStats() {
+	s.stats.segmentsConsidered.Store(0)
+	s.stats.segmentsPruned.Store(0)
+	s.stats.segmentsScanned.Store(0)
+	s.stats.segmentsAggregated.Store(0)
+	s.stats.recordsScanned.Store(0)
+	s.stats.sidecarsBuilt.Store(0)
+}
+
+// SetParallelism bounds the number of segments a query scans concurrently:
+// 1 forces serial scans, 0 restores the automatic choice
+// (min(GOMAXPROCS, 8)). Safe to call concurrently with queries; a running
+// query keeps the value it started with.
+func (s *Store) SetParallelism(k int) {
+	if k < 0 {
+		k = 0
+	}
+	s.par.Store(int32(k))
+}
+
+// Parallelism returns the effective worker bound for the next query.
+func (s *Store) Parallelism() int { return s.queryParallelism() }
+
+// queryParallelism resolves the configured parallelism to a worker count.
+func (s *Store) queryParallelism() int {
+	if k := s.par.Load(); k > 0 {
+		return int(k)
+	}
+	return min(runtime.GOMAXPROCS(0), maxAutoParallelism)
+}
+
+// SetPruning toggles zone-map segment pruning and lazy sidecar builds
+// (enabled by default). Disabling it forces every overlapping segment to
+// be scanned — the pre-index behavior, kept reachable for benchmarks and
+// correctness cross-checks.
+func (s *Store) SetPruning(enabled bool) { s.pruneOff.Store(!enabled) }
+
+// segPlan is one segment a query decided to touch.
+type segPlan struct {
+	bin uint32
+	// zm is the segment's validated zone map (nil when absent/stale).
+	zm *zoneMap
+	// buildIdx asks the scan to rebuild the missing sidecar as it reads.
+	buildIdx bool
+}
+
+// planSegments lists the segments overlapping iv that the filter may
+// match, pruning provably-irrelevant ones via their zone maps.
+func (s *Store) planSegments(iv flow.Interval, filter *nffilter.Filter) ([]segPlan, error) {
+	bins, err := s.Bins()
+	if err != nil {
+		return nil, err
+	}
+	pruning := !s.pruneOff.Load()
+	var root nffilter.Node
+	if filter != nil {
+		root = filter.Root()
+	}
+	var plan []segPlan
+	for _, bin := range bins {
+		seg := flow.Interval{Start: bin, End: bin + s.binSeconds}
+		if !seg.Overlaps(iv) {
+			continue
+		}
+		s.stats.segmentsConsidered.Add(1)
+		p := segPlan{bin: bin}
+		if pruning {
+			if z := s.loadZoneMap(bin); z != nil {
+				if !z.overlapsStart(iv) || (root != nil && !z.canMatch(root)) {
+					s.stats.segmentsPruned.Add(1)
+					continue
+				}
+				p.zm = z
+			} else {
+				p.buildIdx = true
+			}
+		}
+		plan = append(plan, p)
+	}
+	return plan, nil
+}
+
+// execPlan scans the planned segments and streams matches to fn in bin
+// order, choosing serial or parallel execution by the configured worker
+// bound.
+func (s *Store) execPlan(ctx context.Context, plan []segPlan, iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
+	if len(plan) == 0 {
+		return nil
+	}
+	k := s.queryParallelism()
+	if k > len(plan) {
+		k = len(plan)
+	}
+	if k <= 1 {
+		return s.execSerial(ctx, plan, iv, filter, fn)
+	}
+	return s.execParallel(ctx, k, plan, iv, filter, fn)
+}
+
+// execSerial scans the plan one segment at a time on the caller's
+// goroutine.
+func (s *Store) execSerial(ctx context.Context, plan []segPlan, iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
+	for _, p := range plan {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var zb *zoneMap
+		if p.buildIdx {
+			zb = newZoneMap()
+		}
+		err := s.iterSegment(ctx, p.bin, zb, func(r *flow.Record) error {
+			if !iv.Contains(r.Start) {
+				return nil
+			}
+			if filter != nil && !filter.Match(r) {
+				return nil
+			}
+			return fn(r)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// segResult carries one worker's output: batches of matched records, then
+// (after the channel closes) the scan error, if any.
+type segResult struct {
+	batches chan []flow.Record
+	err     error
+}
+
+// execParallel scans up to k segments concurrently. Workers push matched
+// records in fixed-size batches; the merger drains workers strictly in bin
+// order, so fn observes the exact serial-scan sequence. Workers launch
+// lazily, at most k ahead of the merge cursor, so goroutine count and
+// buffered-batch memory stay proportional to k rather than to the plan
+// length (a warm-up sweep can plan tens of thousands of segments). An fn
+// error or a context cancellation tears the pool down promptly: every
+// worker send selects on ctx.
+func (s *Store) execParallel(ctx context.Context, k int, plan []segPlan, iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*segResult, len(plan))
+	start := func(i int) {
+		res := &segResult{batches: make(chan []flow.Record, 4)}
+		results[i] = res
+		go func(p segPlan) {
+			defer close(res.batches)
+			res.err = s.scanSegmentBatches(ctx, p, iv, filter, res.batches)
+		}(plan[i])
+	}
+	next := 0
+	for ; next < len(plan) && next < k; next++ {
+		start(next)
+	}
+
+	// Merge in plan (= bin) order; each finished segment admits the next
+	// worker, keeping exactly k scans in flight. The record passed to fn
+	// is reused, per the Query contract.
+	var rec flow.Record
+	for j := range plan {
+		res := results[j]
+		for batch := range res.batches {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			for i := range batch {
+				rec = batch[i]
+				if err := fn(&rec); err != nil {
+					return err
+				}
+			}
+		}
+		if res.err != nil {
+			return res.err
+		}
+		if next < len(plan) {
+			start(next)
+			next++
+		}
+	}
+	return nil
+}
+
+// scanSegmentBatches scans one segment and sends matched records to out in
+// batches of queryBatchSize.
+func (s *Store) scanSegmentBatches(ctx context.Context, p segPlan, iv flow.Interval, filter *nffilter.Filter, out chan<- []flow.Record) error {
+	var zb *zoneMap
+	if p.buildIdx {
+		zb = newZoneMap()
+	}
+	batch := make([]flow.Record, 0, queryBatchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		select {
+		case out <- batch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		batch = make([]flow.Record, 0, queryBatchSize)
+		return nil
+	}
+	err := s.iterSegment(ctx, p.bin, zb, func(r *flow.Record) error {
+		if !iv.Contains(r.Start) {
+			return nil
+		}
+		if filter != nil && !filter.Match(r) {
+			return nil
+		}
+		batch = append(batch, *r)
+		if len(batch) == queryBatchSize {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
+}
+
+// iterSegment streams every decoded record of one segment file to emit,
+// checking the context every ctxCheckStride records. When zb is non-nil it
+// accumulates the segment's zone map and persists it (best-effort) after a
+// clean full scan — the lazy index build that upgrades pre-sidecar stores.
+func (s *Store) iterSegment(ctx context.Context, bin uint32, zb *zoneMap, emit func(*flow.Record) error) error {
+	s.stats.segmentsScanned.Add(1)
+	f, err := os.Open(s.segPath(bin))
+	if err != nil {
+		return fmt.Errorf("nfstore: open segment %d: %w", bin, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return fmt.Errorf("nfstore: segment %d header: %w", bin, err)
+	}
+	gotBin, gotBinSec, err := decodeSegHeader(hdr)
+	if err != nil {
+		return fmt.Errorf("nfstore: segment %d: %w", bin, err)
+	}
+	if gotBin != bin || gotBinSec != s.binSeconds {
+		return fmt.Errorf("nfstore: segment %d header mismatch (bin %d, width %d)", bin, gotBin, gotBinSec)
+	}
+	var scanned uint64
+	defer func() { s.stats.recordsScanned.Add(scanned) }()
+	var rec flow.Record
+	buf := make([]byte, RecordSize)
+	for n := 0; ; n++ {
+		if n%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if _, err := io.ReadFull(br, buf); err != nil {
+			if err == io.EOF {
+				if zb != nil {
+					// Persisting the rebuilt sidecar is an accelerator, not
+					// a correctness requirement; a failed write only means
+					// the next query scans again.
+					_ = s.writeZoneMap(bin, zb)
+				}
+				return nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return fmt.Errorf("nfstore: segment %d truncated", bin)
+			}
+			return fmt.Errorf("nfstore: segment %d read: %w", bin, err)
+		}
+		decodeRecord(buf, &rec)
+		scanned++
+		if zb != nil {
+			zb.add(&rec)
+		}
+		if err := emit(&rec); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package nfstore
+
+import (
+	"repro/internal/flow"
+	"repro/internal/nffilter"
+)
+
+// Segment pruning is a conservative two-sided analysis of a filter AST
+// against a segment's zone map:
+//
+//   - canMatch: may ANY summarized record satisfy the node? False lets the
+//     query skip the segment entirely. Must never report false for a
+//     segment holding a matching record; reporting true too often only
+//     costs a scan.
+//   - matchesAll: does EVERY summarized record provably satisfy the node?
+//     True lets aggregations (Count, Summaries) answer from the sidecar
+//     totals without touching the segment. Must never report true unless
+//     it holds; reporting false too often only costs a scan.
+//
+// Unknown node types degrade safely in both directions (canMatch true,
+// matchesAll false).
+
+// canMatch reports whether some record summarized by z may satisfy n.
+func (z *zoneMap) canMatch(n nffilter.Node) bool {
+	if z.count == 0 {
+		return false
+	}
+	switch t := n.(type) {
+	case *nffilter.And:
+		// Each conjunct must be individually satisfiable; this is necessary
+		// but not sufficient (different records may satisfy different
+		// conjuncts), hence conservative in the safe direction.
+		for _, k := range t.Kids {
+			if !z.canMatch(k) {
+				return false
+			}
+		}
+		return true
+	case *nffilter.Or:
+		for _, k := range t.Kids {
+			if z.canMatch(k) {
+				return true
+			}
+		}
+		return false
+	case *nffilter.Not:
+		// "not X" is unsatisfiable only when X provably matches everything.
+		return !z.matchesAll(t.Kid)
+	case nffilter.Any, *nffilter.Any:
+		return true
+	case *nffilter.IPMatch:
+		return z.canMatchIP(t.Dir, t.Addr)
+	case *nffilter.NetMatch:
+		return z.canMatchNet(t.Dir, t.Prefix)
+	case *nffilter.PortMatch:
+		return z.canMatchPort(t.Dir, t.Op, t.Port)
+	case *nffilter.ProtoMatch:
+		return z.hasProto(t.Proto)
+	case *nffilter.CounterMatch:
+		lo, hi := z.counterBounds(t.Field)
+		return rangeCanSatisfy(lo, hi, t.Op, t.Value)
+	case *nffilter.FlagsMatch:
+		// A record matches when it carries every bit of the mask; if some
+		// bit was never seen in the segment, no record can.
+		return z.flagsOr&t.Mask == t.Mask
+	default:
+		return true
+	}
+}
+
+// matchesAll reports whether every record summarized by z satisfies n.
+func (z *zoneMap) matchesAll(n nffilter.Node) bool {
+	if z.count == 0 {
+		return false
+	}
+	switch t := n.(type) {
+	case *nffilter.And:
+		for _, k := range t.Kids {
+			if !z.matchesAll(k) {
+				return false
+			}
+		}
+		return true
+	case *nffilter.Or:
+		// Sufficient condition: one branch alone covers every record.
+		for _, k := range t.Kids {
+			if z.matchesAll(k) {
+				return true
+			}
+		}
+		return false
+	case *nffilter.Not:
+		return !z.canMatch(t.Kid)
+	case nffilter.Any, *nffilter.Any:
+		return true
+	case *nffilter.IPMatch:
+		return z.allMatchIP(t.Dir, t.Addr)
+	case *nffilter.NetMatch:
+		return z.allMatchNet(t.Dir, t.Prefix)
+	case *nffilter.PortMatch:
+		return z.allMatchPort(t.Dir, t.Op, t.Port)
+	case *nffilter.ProtoMatch:
+		return z.protoCount() == 1 && z.hasProto(t.Proto)
+	case *nffilter.CounterMatch:
+		lo, hi := z.counterBounds(t.Field)
+		return rangeAllSatisfy(lo, hi, t.Op, t.Value)
+	case *nffilter.FlagsMatch:
+		return z.flagsAnd&t.Mask == t.Mask
+	default:
+		return false
+	}
+}
+
+// canMatchIP checks an exact-address predicate against the IP range bounds
+// and the Bloom filter of the relevant side(s).
+func (z *zoneMap) canMatchIP(dir nffilter.Dir, addr flow.IP) bool {
+	a := uint32(addr)
+	src := a >= z.minSrcIP && a <= z.maxSrcIP && z.bloomSrc.mayContain(a)
+	dst := a >= z.minDstIP && a <= z.maxDstIP && z.bloomDst.mayContain(a)
+	switch dir {
+	case nffilter.DirSrc:
+		return src
+	case nffilter.DirDst:
+		return dst
+	default:
+		return src || dst
+	}
+}
+
+// allMatchIP: every record has the address on the required side only when
+// that side's range has collapsed to the single address.
+func (z *zoneMap) allMatchIP(dir nffilter.Dir, addr flow.IP) bool {
+	a := uint32(addr)
+	src := z.minSrcIP == a && z.maxSrcIP == a
+	dst := z.minDstIP == a && z.maxDstIP == a
+	switch dir {
+	case nffilter.DirSrc:
+		return src
+	case nffilter.DirDst:
+		return dst
+	default:
+		return src || dst
+	}
+}
+
+// canMatchNet checks a CIDR predicate: the prefix's address range must
+// overlap the observed range of the relevant side(s).
+func (z *zoneMap) canMatchNet(dir nffilter.Dir, p flow.Prefix) bool {
+	first, last := prefixRange(p)
+	src := first <= z.maxSrcIP && last >= z.minSrcIP
+	dst := first <= z.maxDstIP && last >= z.minDstIP
+	switch dir {
+	case nffilter.DirSrc:
+		return src
+	case nffilter.DirDst:
+		return dst
+	default:
+		return src || dst
+	}
+}
+
+// allMatchNet: the whole observed range of a side fits in the prefix.
+func (z *zoneMap) allMatchNet(dir nffilter.Dir, p flow.Prefix) bool {
+	src := p.Contains(flow.IP(z.minSrcIP)) && p.Contains(flow.IP(z.maxSrcIP))
+	dst := p.Contains(flow.IP(z.minDstIP)) && p.Contains(flow.IP(z.maxDstIP))
+	switch dir {
+	case nffilter.DirSrc:
+		return src
+	case nffilter.DirDst:
+		return dst
+	default:
+		return src || dst
+	}
+}
+
+// prefixRange returns the first and last address covered by a CIDR prefix.
+func prefixRange(p flow.Prefix) (first, last uint32) {
+	m := p.Masked()
+	first = uint32(m.Addr)
+	if m.Bits >= 32 {
+		return first, first
+	}
+	return first, first | (^uint32(0) >> uint(m.Bits))
+}
+
+// canMatchPort checks a port comparison against the observed port ranges.
+func (z *zoneMap) canMatchPort(dir nffilter.Dir, op nffilter.CmpOp, port uint16) bool {
+	src := rangeCanSatisfy(uint64(z.minSrcPort), uint64(z.maxSrcPort), op, uint64(port))
+	dst := rangeCanSatisfy(uint64(z.minDstPort), uint64(z.maxDstPort), op, uint64(port))
+	switch dir {
+	case nffilter.DirSrc:
+		return src
+	case nffilter.DirDst:
+		return dst
+	default:
+		return src || dst
+	}
+}
+
+// allMatchPort: every value in the observed range of one side satisfies the
+// comparison (either side suffices for DirEither, since the predicate is a
+// per-record disjunction).
+func (z *zoneMap) allMatchPort(dir nffilter.Dir, op nffilter.CmpOp, port uint16) bool {
+	src := rangeAllSatisfy(uint64(z.minSrcPort), uint64(z.maxSrcPort), op, uint64(port))
+	dst := rangeAllSatisfy(uint64(z.minDstPort), uint64(z.maxDstPort), op, uint64(port))
+	switch dir {
+	case nffilter.DirSrc:
+		return src
+	case nffilter.DirDst:
+		return dst
+	default:
+		return src || dst
+	}
+}
+
+// counterBounds returns the observed [min, max] of a counter field.
+func (z *zoneMap) counterBounds(f nffilter.CounterField) (lo, hi uint64) {
+	switch f {
+	case nffilter.FieldPackets:
+		return z.minPackets, z.maxPackets
+	case nffilter.FieldBytes:
+		return z.minBytes, z.maxBytes
+	case nffilter.FieldDuration:
+		return uint64(z.minDur), uint64(z.maxDur)
+	case nffilter.FieldRouter:
+		return uint64(z.minRouter), uint64(z.maxRouter)
+	default:
+		// Unknown field: a full-range answer keeps both analyses
+		// conservative (canMatch true unless the op itself is impossible,
+		// matchesAll false).
+		return 0, ^uint64(0)
+	}
+}
+
+// rangeCanSatisfy reports whether some v in [lo, hi] satisfies (v op c).
+func rangeCanSatisfy(lo, hi uint64, op nffilter.CmpOp, c uint64) bool {
+	switch op {
+	case nffilter.CmpEq:
+		return c >= lo && c <= hi
+	case nffilter.CmpNe:
+		return !(lo == hi && lo == c)
+	case nffilter.CmpLt:
+		return lo < c
+	case nffilter.CmpLe:
+		return lo <= c
+	case nffilter.CmpGt:
+		return hi > c
+	case nffilter.CmpGe:
+		return hi >= c
+	default:
+		return true
+	}
+}
+
+// rangeAllSatisfy reports whether every v in [lo, hi] satisfies (v op c).
+func rangeAllSatisfy(lo, hi uint64, op nffilter.CmpOp, c uint64) bool {
+	switch op {
+	case nffilter.CmpEq:
+		return lo == hi && lo == c
+	case nffilter.CmpNe:
+		return c < lo || c > hi
+	case nffilter.CmpLt:
+		return hi < c
+	case nffilter.CmpLe:
+		return hi <= c
+	case nffilter.CmpGt:
+		return lo > c
+	case nffilter.CmpGe:
+		return lo >= c
+	default:
+		return false
+	}
+}

@@ -6,13 +6,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/flow"
 	"repro/internal/nffilter"
@@ -38,19 +38,32 @@ type storeMeta struct {
 // Store is a directory of time-binned flow segments. It is safe for
 // concurrent use: one writer goroutine and any number of readers (reads
 // observe everything flushed before the read began).
+//
+// Each segment carries a zone-map sidecar ("nfcapd.<bin>.idx", written at
+// flush time and rebuilt lazily for pre-index stores) that queries use to
+// prune segments a filter provably cannot match and to answer aggregations
+// without scanning; surviving segments are scanned by a bounded worker
+// pool (SetParallelism) whose results merge back in bin order. Stats
+// exposes counters for all of it.
 type Store struct {
 	dir        string
 	binSeconds uint32
 
 	mu   sync.RWMutex
 	open map[uint32]*segWriter // open segment writers by bin start
+
+	par      atomic.Int32 // query parallelism (0 = auto)
+	pruneOff atomic.Bool  // zone-map pruning disabled
+	zmc      zmCache      // decoded sidecars by bin
+	stats    storeStats   // scan counters
 }
 
 // segWriter is an append handle to one segment file.
 type segWriter struct {
 	f   *os.File
 	buf *bufio.Writer
-	n   int // records written
+	n   int      // records written
+	zm  *zoneMap // live zone map (nil when the segment seed scan failed)
 }
 
 // Create initializes a new store in dir (created if missing; must not
@@ -137,6 +150,9 @@ func (s *Store) Add(r *flow.Record) error {
 		return fmt.Errorf("nfstore: append to bin %d: %w", bin, err)
 	}
 	w.n++
+	if w.zm != nil {
+		w.zm.add(r)
+	}
 	return nil
 }
 
@@ -171,12 +187,25 @@ func (s *Store) openSegment(bin uint32) (*segWriter, error) {
 			f.Close()
 			return nil, fmt.Errorf("nfstore: write segment header: %w", err)
 		}
+		w.zm = newZoneMap()
+		return w, nil
+	}
+	// Appending to an existing segment: seed the live zone map from the
+	// sidecar if it is current, else by scanning once. A failed seed only
+	// disables incremental sidecar upkeep for this writer — readers
+	// rebuild lazily and a stale sidecar is ignored by its size check.
+	if z := s.loadZoneMap(bin); z != nil {
+		cp := *z // private copy: the cached one is shared with readers
+		w.zm = &cp
+	} else if z, err := s.buildZoneMap(context.Background(), bin); err == nil {
+		w.zm = z
 	}
 	return w, nil
 }
 
 // Flush forces buffered appends to disk so that subsequent queries see
-// them. It keeps segments open for further appends.
+// them, and refreshes each flushed segment's zone-map sidecar. It keeps
+// segments open for further appends.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -184,8 +213,22 @@ func (s *Store) Flush() error {
 		if err := w.buf.Flush(); err != nil {
 			return fmt.Errorf("nfstore: flush bin %d: %w", bin, err)
 		}
+		s.writeSidecar(bin, w)
 	}
 	return nil
+}
+
+// writeSidecar persists the writer's zone map for a flushed segment. The
+// writer keeps mutating its map on later appends, so a private snapshot
+// goes to disk and cache. Sidecars are accelerators: a write failure is
+// deliberately swallowed (the segment merely stays scan-only until the
+// next flush or a lazy rebuild succeeds).
+func (s *Store) writeSidecar(bin uint32, w *segWriter) {
+	if w.zm == nil {
+		return
+	}
+	cp := *w.zm
+	_ = s.writeZoneMap(bin, &cp)
 }
 
 // Close flushes and closes all open segments. The store remains usable for
@@ -195,8 +238,12 @@ func (s *Store) Close() error {
 	defer s.mu.Unlock()
 	var firstErr error
 	for bin, w := range s.open {
-		if err := w.buf.Flush(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("nfstore: flush bin %d: %w", bin, err)
+		if err := w.buf.Flush(); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("nfstore: flush bin %d: %w", bin, err)
+			}
+		} else {
+			s.writeSidecar(bin, w)
 		}
 		if err := w.f.Close(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("nfstore: close bin %d: %w", bin, err)
@@ -252,76 +299,26 @@ const ctxCheckStride = 1024
 // passed to fn is reused between calls: copy it if it must outlive fn.
 // Cancelling ctx aborts the scan within one record stride and returns
 // ctx.Err().
+//
+// Segments whose zone-map sidecar proves the filter cannot match are
+// skipped without being opened, and surviving segments are scanned
+// concurrently (SetParallelism) with results merged back in bin order —
+// fn observes exactly the sequence a serial scan would produce.
 func (s *Store) Query(ctx context.Context, iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
-	bins, err := s.Bins()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	plan, err := s.planSegments(iv, filter)
 	if err != nil {
 		return err
 	}
-	var rec flow.Record
-	buf := make([]byte, RecordSize)
-	for _, bin := range bins {
-		if err := ctx.Err(); err != nil {
-			return err
+	if err := s.execPlan(ctx, plan, iv, filter, fn); err != nil {
+		if errors.Is(err, ErrStopIteration) {
+			return nil
 		}
-		seg := flow.Interval{Start: bin, End: bin + s.binSeconds}
-		if !seg.Overlaps(iv) {
-			continue
-		}
-		if err := s.scanSegment(ctx, bin, buf, &rec, iv, filter, fn); err != nil {
-			if errors.Is(err, ErrStopIteration) {
-				return nil
-			}
-			return err
-		}
+		return err
 	}
 	return nil
-}
-
-// scanSegment streams one segment file through fn.
-func (s *Store) scanSegment(ctx context.Context, bin uint32, buf []byte, rec *flow.Record, iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
-	f, err := os.Open(s.segPath(bin))
-	if err != nil {
-		return fmt.Errorf("nfstore: open segment %d: %w", bin, err)
-	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
-	hdr := make([]byte, segHeaderSize)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return fmt.Errorf("nfstore: segment %d header: %w", bin, err)
-	}
-	gotBin, gotBinSec, err := decodeSegHeader(hdr)
-	if err != nil {
-		return fmt.Errorf("nfstore: segment %d: %w", bin, err)
-	}
-	if gotBin != bin || gotBinSec != s.binSeconds {
-		return fmt.Errorf("nfstore: segment %d header mismatch (bin %d, width %d)", bin, gotBin, gotBinSec)
-	}
-	for n := 0; ; n++ {
-		if n%ctxCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-		if _, err := io.ReadFull(br, buf); err != nil {
-			if err == io.EOF {
-				return nil
-			}
-			if err == io.ErrUnexpectedEOF {
-				return fmt.Errorf("nfstore: segment %d truncated", bin)
-			}
-			return fmt.Errorf("nfstore: segment %d read: %w", bin, err)
-		}
-		decodeRecord(buf, rec)
-		if !iv.Contains(rec.Start) {
-			continue
-		}
-		if filter != nil && !filter.Match(rec) {
-			continue
-		}
-		if err := fn(rec); err != nil {
-			return err
-		}
-	}
 }
 
 // Records collects matching records into a slice. Convenience wrapper over
@@ -338,12 +335,42 @@ func (s *Store) Records(ctx context.Context, iv flow.Interval, filter *nffilter.
 // Count returns the number of matching flow records and their packet and
 // byte totals — the three volume dimensions the paper's miner weights
 // itemsets by.
+//
+// Segments fully inside iv whose sidecar proves the filter matches every
+// record are answered from the sidecar's totals without scanning
+// (SegmentsAggregated in Stats); only the remainder is scanned, pruned and
+// parallelized like Query.
 func (s *Store) Count(ctx context.Context, iv flow.Interval, filter *nffilter.Filter) (flows, packets, bytes uint64, err error) {
-	err = s.Query(ctx, iv, filter, func(r *flow.Record) error {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, 0, err
+	}
+	plan, err := s.planSegments(iv, filter)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var root nffilter.Node
+	if filter != nil {
+		root = filter.Root()
+	}
+	scan := plan[:0]
+	for _, p := range plan {
+		if p.zm != nil && p.zm.coversStarts(iv) && (root == nil || p.zm.matchesAll(root)) {
+			flows += p.zm.count
+			packets += p.zm.packets
+			bytes += p.zm.bytes
+			s.stats.segmentsAggregated.Add(1)
+			continue
+		}
+		scan = append(scan, p)
+	}
+	err = s.execPlan(ctx, scan, iv, filter, func(r *flow.Record) error {
 		flows++
 		packets += r.Packets
 		bytes += r.Bytes
 		return nil
 	})
-	return flows, packets, bytes, err
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return flows, packets, bytes, nil
 }

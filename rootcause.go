@@ -48,6 +48,16 @@
 //	    ...
 //	}
 //
+// # Query engine
+//
+// The flow store plans every scan against per-segment zone-map sidecars:
+// segments a filter provably cannot match are skipped unopened, the
+// survivors are scanned by a bounded worker pool whose results merge back
+// in bin order, and whole-segment aggregations are answered from the
+// sidecars alone. WithQueryParallelism (at Create/Open) bounds the pool;
+// QueryStats exposes the pruning counters. Stores written before the
+// sidecar format existed upgrade themselves lazily as they are scanned.
+//
 // See examples/ for runnable end-to-end programs and DESIGN.md for the
 // system inventory.
 package rootcause
@@ -118,9 +128,10 @@ type Option func(*callOptions)
 
 // callOptions is the resolved per-call configuration.
 type callOptions struct {
-	extraction  *ExtractionOptions
-	detectorCfg any
-	concurrency int
+	extraction       *ExtractionOptions
+	detectorCfg      any
+	concurrency      int
+	queryParallelism int
 	// extractFn substitutes the extraction engine; a test seam for
 	// exercising ExtractAll's pool without real mining.
 	extractFn func(ctx context.Context, a *Alarm) (*Result, error)
@@ -143,6 +154,15 @@ func WithDetectorConfig(cfg any) Option {
 // extractions (default: GOMAXPROCS).
 func WithConcurrency(k int) Option {
 	return func(o *callOptions) { o.concurrency = k }
+}
+
+// WithQueryParallelism bounds how many flow-store segments one query scans
+// concurrently: 1 forces serial scans, 0 (the default) picks
+// min(GOMAXPROCS, 8). It is a construction option — pass it to Create or
+// Open, where it configures the system's store; every candidate scan,
+// drill-down and detector sweep then uses that bound.
+func WithQueryParallelism(k int) Option {
+	return func(o *callOptions) { o.queryParallelism = k }
 }
 
 // resolveOptions folds the options into the call configuration.
@@ -175,25 +195,31 @@ type System struct {
 }
 
 // Create initializes a new system with a fresh flow store in
-// cfg.StoreDir.
-func Create(cfg Config) (*System, error) {
+// cfg.StoreDir. Construction options (WithQueryParallelism) configure the
+// assembled system; per-call options are ignored here.
+func Create(cfg Config, opts ...Option) (*System, error) {
 	store, err := nfstore.Create(cfg.StoreDir, cfg.BinSeconds)
 	if err != nil {
 		return nil, err
 	}
-	return assemble(store, cfg)
+	return assemble(store, cfg, opts)
 }
 
-// Open opens a system over an existing flow store.
-func Open(cfg Config) (*System, error) {
+// Open opens a system over an existing flow store. Construction options
+// (WithQueryParallelism) configure the assembled system.
+func Open(cfg Config, opts ...Option) (*System, error) {
 	store, err := nfstore.Open(cfg.StoreDir)
 	if err != nil {
 		return nil, err
 	}
-	return assemble(store, cfg)
+	return assemble(store, cfg, opts)
 }
 
-func assemble(store *nfstore.Store, cfg Config) (*System, error) {
+func assemble(store *nfstore.Store, cfg Config, options []Option) (*System, error) {
+	o := resolveOptions(options)
+	if o.queryParallelism > 0 {
+		store.SetParallelism(o.queryParallelism)
+	}
 	var db *alarmdb.DB
 	if cfg.AlarmDBPath != "" {
 		var err error
@@ -219,6 +245,16 @@ func assemble(store *nfstore.Store, cfg Config) (*System, error) {
 
 // Store exposes the underlying flow store for ingest and ad-hoc queries.
 func (s *System) Store() *nfstore.Store { return s.store }
+
+// QueryStats is a snapshot of the flow store's scan counters: segments
+// considered, pruned via zone-map sidecars, scanned, answered entirely
+// from sidecars, records decoded, and sidecars built.
+type QueryStats = nfstore.Stats
+
+// QueryStats returns the store's cumulative scan counters. The pruning
+// and pushdown fast paths are observable here: a selective workload on a
+// well-indexed store shows SegmentsPruned close to SegmentsConsidered.
+func (s *System) QueryStats() QueryStats { return s.store.Stats() }
 
 // AddFlows ingests a batch of flow records.
 func (s *System) AddFlows(records []Record) error {

@@ -225,3 +225,37 @@ func TestAddFlows(t *testing.T) {
 		t.Fatal("default bin seconds not applied")
 	}
 }
+
+func TestQueryParallelismAndStats(t *testing.T) {
+	sys, err := rootcause.Create(rootcause.Config{StoreDir: filepath.Join(t.TempDir(), "s")},
+		rootcause.WithQueryParallelism(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if got := sys.Store().Parallelism(); got != 3 {
+		t.Fatalf("WithQueryParallelism not applied: store parallelism = %d", got)
+	}
+	recs := []rootcause.Record{
+		{Start: 100, SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 80,
+			Proto: flow.ProtoTCP, Packets: 5, Bytes: 200},
+		{Start: 700, SrcIP: 9, DstIP: 2, SrcPort: 3, DstPort: 443,
+			Proto: flow.ProtoTCP, Packets: 5, Bytes: 200},
+	}
+	if err := sys.AddFlows(recs); err != nil {
+		t.Fatal(err)
+	}
+	// A selective drill-down: zone maps prune the non-matching bin, and
+	// the counters surface it through the public API.
+	got, err := sys.Flows(t.Context(), rootcause.Interval{Start: 0, End: 900}, "src ip 0.0.0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d flows, want 1", len(got))
+	}
+	st := sys.QueryStats()
+	if st.SegmentsConsidered != 2 || st.SegmentsPruned != 1 || st.SegmentsScanned != 1 {
+		t.Fatalf("QueryStats = %+v, want 2 considered / 1 pruned / 1 scanned", st)
+	}
+}
