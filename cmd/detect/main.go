@@ -22,6 +22,7 @@ func main() {
 	var (
 		storeDir = flag.String("store", "", "flow store directory (required)")
 		detName  = flag.String("detector", "netreflex", "registered detector name (see rootcause.DetectorNames)")
+		minerStr = flag.String("miner", "", "frequent-itemset miner for the system's extraction engine (validated at startup; default apriori)")
 		dbPath   = flag.String("alarmdb", "", "alarm database JSON path (default: <store>/alarms.json)")
 		from     = flag.Uint("from", 0, "span start, unix seconds (0 = store start)")
 		to       = flag.Uint("to", 0, "span end, unix seconds (0 = store end)")
@@ -34,6 +35,8 @@ into the alarm database — the left half of the paper's Figure 1. The
 filed alarm IDs feed extract / rcad.
 
 Registered detectors: netreflex (default), histogram, pca.
+Registered miners (-miner, for the extraction engine the system
+assembles): apriori (default), fpgrowth.
 
 Example:
   detect -store /tmp/flows -detector netreflex
@@ -51,16 +54,22 @@ Flags:
 	if *dbPath == "" {
 		*dbPath = *storeDir + "/alarms.json"
 	}
-	if err := run(*storeDir, *detName, *dbPath, uint32(*from), uint32(*to)); err != nil {
+	if err := run(*storeDir, *detName, *minerStr, *dbPath, uint32(*from), uint32(*to)); err != nil {
 		fmt.Fprintln(os.Stderr, "detect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(storeDir, detName, dbPath string, from, to uint32) error {
+func run(storeDir, detName, minerName, dbPath string, from, to uint32) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	sys, err := rootcause.Open(rootcause.Config{StoreDir: storeDir, AlarmDBPath: dbPath})
+	cfg := rootcause.Config{StoreDir: storeDir, AlarmDBPath: dbPath}
+	if minerName != "" {
+		opts := rootcause.DefaultExtractionOptions()
+		opts.Miner = minerName
+		cfg.Extraction = &opts
+	}
+	sys, err := rootcause.Open(cfg)
 	if err != nil {
 		return err
 	}

@@ -35,7 +35,7 @@ func TestRunEndToEnd(t *testing.T) {
 	sys.Close()
 
 	// Full-span detection with the default detector.
-	if err := run(storeDir, "netreflex", dbPath, 0, 0); err != nil {
+	if err := run(storeDir, "netreflex", "fpgrowth", dbPath, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -57,7 +57,7 @@ func TestRunEmptyStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.Close()
-	if err := run(storeDir, "netreflex", filepath.Join(dir, "a.json"), 0, 0); err == nil {
+	if err := run(storeDir, "netreflex", "", filepath.Join(dir, "a.json"), 0, 0); err == nil {
 		t.Fatal("empty store must be reported")
 	}
 }

@@ -31,6 +31,7 @@ func main() {
 		from      = flag.Uint("from", 0, "ad-hoc alarm interval start (unix seconds)")
 		to        = flag.Uint("to", 0, "ad-hoc alarm interval end (unix seconds)")
 		meta      = flag.String("meta", "", "ad-hoc meta-data: comma-separated feature=value pairs")
+		minerName = flag.String("miner", "", "frequent-itemset miner (see rootcause.MinerNames; default apriori)")
 		minSets   = flag.Int("min-itemsets", 0, "override: self-tuning target minimum itemsets")
 		maxSets   = flag.Int("max-itemsets", 0, "override: maximum reported itemsets")
 		frac      = flag.Float64("support-frac", 0, "override: initial support fraction (0,1]")
@@ -49,8 +50,13 @@ the paper's Table 1.
 Ad-hoc meta-data (-meta) is a comma-separated feature=value list over
 srcIP, dstIP, srcPort, dstPort, proto.
 
+-miner selects the frequent-itemset miner: apriori (default) or
+fpgrowth, plus any externally registered name. All miners produce
+identical itemsets; they differ only in speed per dataset shape.
+
 Examples:
   extract -store /tmp/flows -alarmdb /tmp/flows/alarms.json -id 1
+  extract -store /tmp/flows -id 1 -miner fpgrowth
   extract -store /tmp/flows -from 1300000800 -to 1300001100 \
           -meta "srcIP=10.191.64.165,dstPort=80"
 
@@ -65,6 +71,9 @@ Flags:
 		os.Exit(2)
 	}
 	opts := rootcause.DefaultExtractionOptions()
+	if *minerName != "" {
+		opts.Miner = *minerName
+	}
 	if *minSets > 0 {
 		opts.MinItemsets = *minSets
 	}

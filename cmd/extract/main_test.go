@@ -3,7 +3,10 @@ package main
 import (
 	"testing"
 
+	rootcause "repro"
 	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/nfstore"
 )
 
 func TestParseMeta(t *testing.T) {
@@ -51,5 +54,57 @@ func TestParseMetaErrors(t *testing.T) {
 		if _, err := parseMeta(s); err == nil {
 			t.Errorf("parseMeta(%q) must fail", s)
 		}
+	}
+}
+
+// newExtractStore generates a store with a port scan for end-to-end runs.
+func newExtractStore(t *testing.T) (string, uint32, uint32) {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := nfstore.Create(dir, nfstore.DefaultBinSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	scenario := gen.Scenario{
+		Background: gen.Background{NumPoPs: 2, FlowsPerBin: 200},
+		Bins:       4, StartTime: 1_300_000_200, Seed: 19,
+		Placements: []gen.Placement{
+			{Anomaly: gen.PortScan{Scanner: flow.MustParseIP("10.9.9.9"),
+				Victim: flow.MustParseIP("198.19.0.9"), SrcPort: 1234,
+				Ports: 1000, FlowsPerPort: 1, Router: 0}, Bin: 2},
+		},
+	}
+	truth, err := scenario.Generate(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := truth.Entries[0].Interval
+	return dir, iv.Start, iv.End
+}
+
+// TestRunEndToEndWithMiner drives the extract command's run path with
+// each built-in miner, including -miner fpgrowth.
+func TestRunEndToEndWithMiner(t *testing.T) {
+	storeDir, from, to := newExtractStore(t)
+	for _, name := range []string{"", "apriori", "fpgrowth"} {
+		opts := rootcause.DefaultExtractionOptions()
+		if name != "" {
+			opts.Miner = name
+		}
+		if err := run(storeDir, "", "", from, to, "srcIP=10.9.9.9", opts, 2); err != nil {
+			t.Fatalf("miner %q: %v", name, err)
+		}
+	}
+}
+
+// TestRunUnknownMinerRejected: a bogus -miner fails fast at system
+// assembly.
+func TestRunUnknownMinerRejected(t *testing.T) {
+	storeDir, from, to := newExtractStore(t)
+	opts := rootcause.DefaultExtractionOptions()
+	opts.Miner = "frobnicator"
+	if err := run(storeDir, "", "", from, to, "", opts, 0); err == nil {
+		t.Fatal("unknown miner must be rejected")
 	}
 }

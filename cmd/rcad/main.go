@@ -13,11 +13,12 @@
 //
 //	GET  /api/health
 //	GET  /api/detectors
+//	GET  /api/miners
 //	POST /api/detect                body: {"detector":"netreflex","from":UNIX,"to":UNIX}
 //	GET  /api/alarms?from=UNIX&to=UNIX
 //	GET  /api/alarms/{id}
-//	POST /api/alarms/{id}/extract
-//	POST /api/extract-batch         body: {"alarm_ids":["1","2"],"concurrency":4}
+//	POST /api/alarms/{id}/extract   optional body: {"miner":"fpgrowth"}
+//	POST /api/extract-batch         body: {"alarm_ids":["1","2"],"concurrency":4,"miner":"fpgrowth"}
 //	POST /api/alarms/{id}/verdict   body: {"validated":true,"note":"..."}
 //	GET  /api/flows?from=UNIX&to=UNIX&filter=EXPR&limit=N
 //
@@ -35,11 +36,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"slices"
 	"strconv"
 	"syscall"
 	"time"
@@ -68,11 +71,12 @@ with nfdump-style filters, and recording verdicts.
 Endpoints:
   GET  /api/health                (includes query_stats scan counters)
   GET  /api/detectors
+  GET  /api/miners
   POST /api/detect                {"detector":"netreflex","from":U,"to":U}
   GET  /api/alarms?from=U&to=U
   GET  /api/alarms/{id}
-  POST /api/alarms/{id}/extract
-  POST /api/extract-batch         {"alarm_ids":["1","2"],"concurrency":4}
+  POST /api/alarms/{id}/extract   optional {"miner":"fpgrowth"}
+  POST /api/extract-batch         {"alarm_ids":["1","2"],"concurrency":4,"miner":"fpgrowth"}
   POST /api/alarms/{id}/verdict   {"validated":true,"note":"..."}
   GET  /api/flows?from=U&to=U&filter=EXPR&limit=N
 
@@ -161,6 +165,7 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/health", s.handleHealth)
 	mux.HandleFunc("GET /api/detectors", s.handleDetectors)
+	mux.HandleFunc("GET /api/miners", s.handleMiners)
 	mux.HandleFunc("POST /api/detect", s.handleDetect)
 	mux.HandleFunc("GET /api/alarms", s.handleAlarms)
 	mux.HandleFunc("GET /api/alarms/{id}", s.handleAlarm)
@@ -227,6 +232,24 @@ func (s *server) handleDetectors(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"detectors": rootcause.DetectorNames(),
 	})
+}
+
+func (s *server) handleMiners(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"miners": rootcause.MinerNames(),
+	})
+}
+
+// minerOption validates an optional miner name from a request body and
+// turns it into a call option. An unknown name is the caller's mistake.
+func minerOption(name string) ([]rootcause.Option, error) {
+	if name == "" {
+		return nil, nil
+	}
+	if !slices.Contains(rootcause.MinerNames(), name) {
+		return nil, fmt.Errorf("unknown miner %q (have %v)", name, rootcause.MinerNames())
+	}
+	return []rootcause.Option{rootcause.WithMiner(name)}, nil
 }
 
 func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
@@ -318,7 +341,21 @@ func toExtractResponse(id string, res *rootcause.Result) extractResponse {
 
 func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	res, err := s.sys.Extract(r.Context(), id)
+	// The body is optional (legacy clients POST nothing); when present it
+	// may select the miner.
+	var body struct {
+		Miner string `json:"miner"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
+		return
+	}
+	opts, err := minerOption(body.Miner)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.sys.Extract(r.Context(), id, opts...)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, alarmdb.ErrNotFound) {
@@ -341,6 +378,7 @@ func (s *server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		AlarmIDs    []string `json:"alarm_ids"`
 		Concurrency int      `json:"concurrency"`
+		Miner       string   `json:"miner"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
@@ -350,7 +388,11 @@ func (s *server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("alarm_ids is empty"))
 		return
 	}
-	var opts []rootcause.Option
+	opts, err := minerOption(body.Miner)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	if body.Concurrency > 0 {
 		opts = append(opts, rootcause.WithConcurrency(body.Concurrency))
 	}

@@ -348,3 +348,97 @@ func TestExtractUnknownAlarmIs404(t *testing.T) {
 		t.Fatalf("status %d, want 404", resp.StatusCode)
 	}
 }
+
+func TestMinersEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var body struct {
+		Miners []string `json:"miners"`
+	}
+	if code := getJSON(t, srv.URL+"/api/miners", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"apriori", "fpgrowth"} {
+		if !slices.Contains(body.Miners, want) {
+			t.Fatalf("miners = %v, missing %q", body.Miners, want)
+		}
+	}
+}
+
+// TestExtractEndpointMinerSelection runs the single-alarm extract once
+// per miner and requires identical itemsets, plus a 400 on an unknown
+// miner.
+func TestExtractEndpointMinerSelection(t *testing.T) {
+	srv, id := newTestServer(t)
+	extract := func(body string) extractResponse {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/api/alarms/"+id+"/extract", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var out extractResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ap := extract(`{"miner":"apriori"}`)
+	fp := extract(`{"miner":"fpgrowth"}`)
+	if len(ap.Itemsets) == 0 || len(ap.Itemsets) != len(fp.Itemsets) {
+		t.Fatalf("apriori %d itemsets, fpgrowth %d", len(ap.Itemsets), len(fp.Itemsets))
+	}
+	for i := range ap.Itemsets {
+		if ap.Itemsets[i] != fp.Itemsets[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, ap.Itemsets[i], fp.Itemsets[i])
+		}
+	}
+
+	resp, err := http.Post(srv.URL+"/api/alarms/"+id+"/extract", "application/json",
+		strings.NewReader(`{"miner":"frobnicator"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown miner status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestExtractBatchMinerSelection drives /api/extract-batch with the
+// fpgrowth miner end-to-end.
+func TestExtractBatchMinerSelection(t *testing.T) {
+	srv, id := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/api/extract-batch", "application/json",
+		strings.NewReader(`{"alarm_ids":["`+id+`"],"miner":"fpgrowth"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var line batchLine
+	if err := json.NewDecoder(resp.Body).Decode(&line); err != nil {
+		t.Fatal(err)
+	}
+	if line.Error != "" {
+		t.Fatalf("batch error: %s", line.Error)
+	}
+	if line.Result == nil || len(line.Result.Itemsets) == 0 {
+		t.Fatal("no itemsets in batch result")
+	}
+
+	resp, err = http.Post(srv.URL+"/api/extract-batch", "application/json",
+		strings.NewReader(`{"alarm_ids":["`+id+`"],"miner":"frobnicator"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown miner status %d, want 400", resp.StatusCode)
+	}
+}

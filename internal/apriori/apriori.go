@@ -11,30 +11,37 @@ package apriori
 
 import (
 	"context"
-	"errors"
 	"sort"
 
 	"repro/internal/flow"
 	"repro/internal/itemset"
+	"repro/internal/miner"
 )
 
-// Options configures a mining run.
-type Options struct {
-	// MinSupport is the absolute minimum support in the chosen dimension.
-	// Itemsets whose support is >= MinSupport are frequent. Must be >= 1.
-	MinSupport uint64
-	// ByPackets selects the support dimension: false counts flows (classic
-	// Apriori over flow transactions, as in the IMC'09 paper), true counts
-	// packets (the extension this paper adds for low-flow floods).
-	ByPackets bool
-	// MaxLen bounds the itemset length; 0 means no bound (i.e. up to
-	// flow.NumFeatures).
-	MaxLen int
-}
+// Options is the shared miner configuration (see miner.Options).
+type Options = miner.Options
 
 // ErrZeroSupport is returned when Options.MinSupport is 0, which would
 // declare every possible itemset frequent.
-var ErrZeroSupport = errors.New("apriori: MinSupport must be >= 1")
+var ErrZeroSupport = miner.ErrZeroSupport
+
+// Miner is the registry adapter: package-level Mine/MineMaximal behind
+// the miner.Miner interface. Registered as "apriori" (the default).
+type Miner struct{}
+
+// Mine implements miner.Miner.
+func (Miner) Mine(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
+	return Mine(ctx, ds, opts)
+}
+
+// MineMaximal implements miner.Miner.
+func (Miner) MineMaximal(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
+	return MineMaximal(ctx, ds, opts)
+}
+
+func init() {
+	miner.MustRegister("apriori", func() miner.Miner { return Miner{} })
+}
 
 // Mine returns all itemsets with support >= opts.MinSupport in the chosen
 // dimension, canonically sorted (descending support, then descending

@@ -23,6 +23,14 @@
 // fallback to the full interval), maximal-itemset reduction,
 // baseline-popularity false-positive suppression, and itemset→filter
 // drill-down so an operator can inspect the raw flows behind any row.
+//
+// The miner itself is pluggable (Options.Miner selects a name from the
+// internal/miner registry; "apriori" is the default and "fpgrowth" the
+// built-in alternative — both emit identical canonical results), the
+// candidate dataset is built by streaming the store's record iterator
+// through an itemset.Builder (the raw candidate records are never
+// materialized as a slice), and support counting plus the coverage loop
+// fan out over the dataset's sharded worker pool.
 package core
 
 import (
@@ -31,17 +39,29 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/apriori"
 	"repro/internal/detector"
 	"repro/internal/flow"
 	"repro/internal/itemset"
+	"repro/internal/miner"
 	"repro/internal/nffilter"
 	"repro/internal/nfstore"
+
+	// Built-in miners self-register into the miner registry.
+	_ "repro/internal/apriori"
+	_ "repro/internal/fpgrowth"
 )
 
-// Options configures the extraction engine. The zero value is not valid;
+// Options configures the extraction engine. Zero values of the numeric
+// fields inherit the corresponding defaults and explicitly invalid values
+// are rejected by New; note that the boolean switches (UsePrefilter,
+// BaselineFilter) and PacketCoverageMin treat their zero value as
+// "disabled", so a hand-rolled Options turns those paper features off —
 // start from DefaultOptions.
 type Options struct {
+	// Miner selects the frequent-itemset miner by registry name
+	// ("apriori", "fpgrowth", or an externally registered one). Empty
+	// selects the default miner (apriori, as in the paper).
+	Miner string
 	// MinItemsets..MaxItemsets is the target band for the number of
 	// reported maximal itemsets. Self-tuning lowers the support until at
 	// least MinItemsets appear (or the floor is hit); the ranked list is
@@ -50,9 +70,11 @@ type Options struct {
 	MaxItemsets int
 	// InitialSupportFraction is the starting minimum support as a
 	// fraction of the candidate total (flows or packets, per dimension).
+	// Must be in (0,1]; zero inherits the default.
 	InitialSupportFraction float64
 	// SupportFloor is the absolute lower bound the self-tuning loop will
-	// not cross: itemsets below it are noise regardless of band.
+	// not cross: itemsets below it are noise regardless of band. Zero
+	// inherits the default (10); use 1 for an explicit "no floor".
 	SupportFloor uint64
 	// MaxTuningRounds bounds the halving loop per dimension.
 	MaxTuningRounds int
@@ -75,14 +97,15 @@ type Options struct {
 	// less than this fraction of the candidate traffic and fewer than
 	// MaxItemsets were found, the minimum support keeps halving. This is
 	// what lets extraction surface co-occurring anomalies weaker than the
-	// dominant one (the paper's Table 1 DDoS rows).
+	// dominant one (the paper's Table 1 DDoS rows). Must be in (0,1];
+	// zero inherits the default.
 	CoverageTarget float64
 	// BaselineFilter drops itemsets that are (proportionally) just as
 	// frequent in the preceding baseline bin — the "popular port / popular
 	// server" false positives the paper says operators filter trivially.
 	// BaselineRatio is the share ratio below which an itemset is dropped:
 	// an itemset is kept only if share(alarm) >= BaselineRatio ×
-	// share(baseline).
+	// share(baseline). Must be >= 1; zero inherits the default.
 	BaselineFilter bool
 	BaselineRatio  float64
 	// MaxLen bounds itemset length (0 = up to all five features).
@@ -93,6 +116,7 @@ type Options struct {
 // experiments.
 func DefaultOptions() Options {
 	return Options{
+		Miner:                  miner.DefaultName,
 		MinItemsets:            2,
 		MaxItemsets:            10,
 		InitialSupportFraction: 0.2,
@@ -108,34 +132,66 @@ func DefaultOptions() Options {
 	}
 }
 
-// validate normalizes and checks options.
+// validate normalizes and checks options. The contract is uniform across
+// the numeric fields: a zero value inherits the default, any other
+// invalid value is an error — never a silent rewrite. (PacketCoverageMin
+// is exempt: 0 is the meaningful "flow-only ablation" setting.)
 func (o *Options) validate() error {
-	if o.MinItemsets <= 0 {
+	if o.MinItemsets < 0 {
+		return fmt.Errorf("core: MinItemsets must be >= 0, got %d", o.MinItemsets)
+	}
+	if o.MinItemsets == 0 {
 		o.MinItemsets = 2
+	}
+	if o.MaxItemsets < 0 {
+		return fmt.Errorf("core: MaxItemsets must be >= 0, got %d", o.MaxItemsets)
+	}
+	if o.MaxItemsets == 0 {
+		o.MaxItemsets = 10
 	}
 	if o.MaxItemsets < o.MinItemsets {
 		return fmt.Errorf("core: MaxItemsets %d < MinItemsets %d", o.MaxItemsets, o.MinItemsets)
 	}
-	if o.InitialSupportFraction <= 0 || o.InitialSupportFraction > 1 {
+	if o.InitialSupportFraction == 0 {
+		o.InitialSupportFraction = 0.2
+	}
+	// Range checks are written in positive form so NaN (never ==, <, or
+	// >= anything) fails them too instead of slipping through.
+	if !(o.InitialSupportFraction > 0 && o.InitialSupportFraction <= 1) {
 		return fmt.Errorf("core: InitialSupportFraction must be in (0,1], got %v", o.InitialSupportFraction)
 	}
 	if o.SupportFloor == 0 {
-		o.SupportFloor = 1
+		o.SupportFloor = 10
 	}
-	if o.MaxTuningRounds <= 0 {
+	if o.MaxTuningRounds < 0 {
+		return fmt.Errorf("core: MaxTuningRounds must be >= 0, got %d", o.MaxTuningRounds)
+	}
+	if o.MaxTuningRounds == 0 {
 		o.MaxTuningRounds = 12
 	}
-	if o.MinCandidates <= 0 {
+	if o.MinCandidates < 0 {
+		return fmt.Errorf("core: MinCandidates must be >= 0, got %d", o.MinCandidates)
+	}
+	if o.MinCandidates == 0 {
 		o.MinCandidates = 50
 	}
-	if o.PacketCoverageMin < 0 || o.PacketCoverageMin > 1 {
+	if !(o.PacketCoverageMin >= 0 && o.PacketCoverageMin <= 1) {
 		return fmt.Errorf("core: PacketCoverageMin must be in [0,1], got %v", o.PacketCoverageMin)
 	}
-	if o.CoverageTarget <= 0 || o.CoverageTarget > 1 {
+	if o.CoverageTarget == 0 {
 		o.CoverageTarget = 0.9
 	}
-	if o.BaselineRatio <= 1 {
+	if !(o.CoverageTarget > 0 && o.CoverageTarget <= 1) {
+		return fmt.Errorf("core: CoverageTarget must be in (0,1], got %v", o.CoverageTarget)
+	}
+	if o.BaselineRatio == 0 {
 		o.BaselineRatio = 3
+	}
+	if !(o.BaselineRatio >= 1) {
+		return fmt.Errorf("core: BaselineRatio must be >= 1, got %v", o.BaselineRatio)
+	}
+	if o.MaxLen < 0 {
+		return fmt.Errorf("core: MaxLen must be >= 0, got %d", o.MaxLen)
 	}
 	return nil
 }
@@ -208,9 +264,12 @@ type Result struct {
 type Extractor struct {
 	store *nfstore.Store
 	opts  Options
+	m     miner.Miner
 }
 
-// New builds an Extractor. The options are validated once here.
+// New builds an Extractor. The options are validated once here, and the
+// configured miner is resolved from the registry (an unknown name is an
+// error listing the registered ones).
 func New(store *nfstore.Store, opts Options) (*Extractor, error) {
 	if store == nil {
 		return nil, errors.New("core: nil store")
@@ -218,7 +277,11 @@ func New(store *nfstore.Store, opts Options) (*Extractor, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	return &Extractor{store: store, opts: opts}, nil
+	m, err := miner.New(opts.Miner)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Extractor{store: store, opts: opts, m: m}, nil
 }
 
 // MustNew is New that panics on error.
@@ -241,32 +304,19 @@ var ErrNoCandidates = errors.New("core: alarm interval contains no flows")
 // engine: the meta pre-filter is exactly the kind of selective filter
 // whose zone-map pruning skips every segment outside the anomaly, so the
 // prefiltered pass typically opens only the alarm interval's own bins.
+// Records stream straight into the dataset builder — the candidate set is
+// aggregated incrementally, never held as a raw record slice.
 func (e *Extractor) Extract(ctx context.Context, alarm *detector.Alarm) (*Result, error) {
 	res := &Result{Alarm: *alarm}
 
-	// Candidate selection: meta pre-filter with full-interval fallback.
-	var records []flow.Record
-	var err error
-	if e.opts.UsePrefilter {
-		if mf := alarm.MetaFilter(); mf != nil {
-			records, err = e.store.Records(ctx, alarm.Interval, mf)
-			if err != nil {
-				return nil, err
-			}
-			res.Prefiltered = true
-		}
+	ds, prefiltered, err := e.candidates(ctx, alarm)
+	if err != nil {
+		return nil, err
 	}
-	if len(records) < e.opts.MinCandidates {
-		records, err = e.store.Records(ctx, alarm.Interval, nil)
-		if err != nil {
-			return nil, err
-		}
-		res.Prefiltered = false
-	}
-	if len(records) == 0 {
+	res.Prefiltered = prefiltered
+	if ds.TotalFlows() == 0 {
 		return nil, ErrNoCandidates
 	}
-	ds := itemset.FromRecords(records)
 	res.CandidateFlows = ds.TotalFlows()
 	res.CandidatePackets = ds.TotalPackets()
 
@@ -278,7 +328,8 @@ func (e *Extractor) Extract(ctx context.Context, alarm *detector.Alarm) (*Result
 	res.Tuning = append(res.Tuning, flowTuning)
 
 	merged := make(map[string]*ItemsetReport)
-	addAll(merged, ds, flowSets, nfstore.ByFlows)
+	var order []*ItemsetReport // deterministic report order for counting
+	addAll(merged, &order, flowSets, nfstore.ByFlows)
 
 	// Extension 1: packet support when flow-mined itemsets leave most of
 	// the candidate packet volume unexplained. PacketCoverageMin of 1
@@ -286,20 +337,24 @@ func (e *Extractor) Extract(ctx context.Context, alarm *detector.Alarm) (*Result
 	// itemsets covering 100% of packets through a broad set like
 	// "proto=udp" must not mask a flood's specific itemsets.
 	if e.opts.PacketCoverageMin > 0 &&
-		(e.opts.PacketCoverageMin >= 1 || coverage(ds, flowSets, true) < e.opts.PacketCoverageMin) {
+		(e.opts.PacketCoverageMin >= 1 || ds.Coverage(setsOf(flowSets), true, 0) < e.opts.PacketCoverageMin) {
 		pktSets, pktTuning, err := e.mineTuned(ctx, ds, true)
 		if err != nil {
 			return nil, err
 		}
 		res.Tuning = append(res.Tuning, pktTuning)
-		addAll(merged, ds, pktSets, nfstore.ByPackets)
+		addAll(merged, &order, pktSets, nfstore.ByPackets)
+	}
+
+	// One sharded parallel pass computes both supports of every merged
+	// itemset over the candidate dataset.
+	for i, sup := range ds.SupportAll(reportSets(order), 0) {
+		order[i].FlowSupport = sup.Flows
+		order[i].PacketSupport = sup.Packets
 	}
 
 	// Baseline false-positive suppression.
-	list := make([]*ItemsetReport, 0, len(merged))
-	for _, r := range merged {
-		list = append(list, r)
-	}
+	list := order
 	if e.opts.BaselineFilter {
 		kept, dropped, err := e.baselineFilter(ctx, alarm.Interval, ds, list)
 		if err != nil {
@@ -309,14 +364,13 @@ func (e *Extractor) Extract(ctx context.Context, alarm *detector.Alarm) (*Result
 		res.BaselineDropped = dropped
 	}
 
-	// Rank by share score, cut at MaxItemsets.
+	// Rank by share score, cut at MaxItemsets. share guards the zero
+	// totals a packet-less candidate set would otherwise turn into NaN
+	// scores that poison the sort.
 	for _, r := range list {
-		fShare := float64(r.FlowSupport) / float64(res.CandidateFlows)
-		pShare := float64(r.PacketSupport) / float64(res.CandidatePackets)
-		r.Score = fShare
-		if pShare > fShare {
-			r.Score = pShare
-		}
+		fShare := share(r.FlowSupport, res.CandidateFlows)
+		pShare := share(r.PacketSupport, res.CandidatePackets)
+		r.Score = max(fShare, pShare)
 	}
 	sort.Slice(list, func(i, j int) bool {
 		if list[i].Score != list[j].Score {
@@ -335,6 +389,48 @@ func (e *Extractor) Extract(ctx context.Context, alarm *detector.Alarm) (*Result
 		res.Itemsets[i] = *r
 	}
 	return res, nil
+}
+
+// candidates streams the alarm interval's records into a dataset builder:
+// the meta pre-filtered pass first (when enabled), with full-interval
+// fallback when it aggregates fewer than MinCandidates flows.
+func (e *Extractor) candidates(ctx context.Context, alarm *detector.Alarm) (ds *itemset.Dataset, prefiltered bool, err error) {
+	b := itemset.NewBuilder()
+	if e.opts.UsePrefilter {
+		if mf := alarm.MetaFilter(); mf != nil {
+			if err := e.fill(ctx, b, alarm.Interval, mf); err != nil {
+				return nil, false, err
+			}
+			prefiltered = true
+		}
+	}
+	if b.Flows() < uint64(e.opts.MinCandidates) {
+		b.Reset()
+		if err := e.fill(ctx, b, alarm.Interval, nil); err != nil {
+			return nil, false, err
+		}
+		prefiltered = false
+	}
+	return b.Dataset(), prefiltered, nil
+}
+
+// fill streams one interval scan into the builder.
+func (e *Extractor) fill(ctx context.Context, b *itemset.Builder, iv flow.Interval, f *nffilter.Filter) error {
+	for r, err := range e.store.Iter(ctx, iv, f) {
+		if err != nil {
+			return err
+		}
+		b.Add(r)
+	}
+	return nil
+}
+
+// share returns part/total, or 0 for an empty total (never NaN).
+func share(part, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(part) / float64(total)
 }
 
 // mineTuned runs the self-tuning mining loop in one dimension: start at
@@ -357,7 +453,7 @@ func (e *Extractor) mineTuned(ctx context.Context, ds *itemset.Dataset, byPacket
 	for round := 0; round < e.opts.MaxTuningRounds; round++ {
 		tuning.Rounds = round + 1
 		var err error
-		result, err = apriori.MineMaximal(ctx, ds, apriori.Options{
+		result, err = e.m.MineMaximal(ctx, ds, miner.Options{
 			MinSupport: minSup,
 			ByPackets:  byPackets,
 			MaxLen:     e.opts.MaxLen,
@@ -369,7 +465,7 @@ func (e *Extractor) mineTuned(ctx context.Context, ds *itemset.Dataset, byPacket
 			break
 		}
 		enough := len(result) >= e.opts.MinItemsets
-		explained := coverage(ds, result, byPackets) >= e.opts.CoverageTarget ||
+		explained := ds.Coverage(setsOf(result), byPackets, 0) >= e.opts.CoverageTarget ||
 			len(result) >= e.opts.MaxItemsets
 		if enough && explained {
 			break
@@ -384,73 +480,79 @@ func (e *Extractor) mineTuned(ctx context.Context, ds *itemset.Dataset, byPacket
 	return result, tuning, nil
 }
 
-// addAll merges mined itemsets into the report map, computing both
-// supports for each and recording the mining dimension.
-func addAll(merged map[string]*ItemsetReport, ds *itemset.Dataset, sets []itemset.Frequent, dim nfstore.Weight) {
+// setsOf projects mined itemsets to their Set slices (the shape the
+// sharded coverage and support passes consume).
+func setsOf(fs []itemset.Frequent) []itemset.Set {
+	sets := make([]itemset.Set, len(fs))
+	for i := range fs {
+		sets[i] = fs[i].Items
+	}
+	return sets
+}
+
+// reportSets is setsOf for report rows.
+func reportSets(list []*ItemsetReport) []itemset.Set {
+	sets := make([]itemset.Set, len(list))
+	for i, r := range list {
+		sets[i] = r.Items
+	}
+	return sets
+}
+
+// addAll merges mined itemsets into the report map, recording the mining
+// dimension; supports are filled in afterwards by one batch SupportAll
+// pass. order preserves first-insertion order so the batch pass and the
+// final ranking are deterministic.
+func addAll(merged map[string]*ItemsetReport, order *[]*ItemsetReport, sets []itemset.Frequent, dim nfstore.Weight) {
 	for _, fr := range sets {
 		key := fr.Items.Key()
 		r, ok := merged[key]
 		if !ok {
-			r = &ItemsetReport{
-				Items:         fr.Items,
-				FlowSupport:   ds.Support(fr.Items, false),
-				PacketSupport: ds.Support(fr.Items, true),
-			}
+			r = &ItemsetReport{Items: fr.Items}
 			merged[key] = r
+			*order = append(*order, r)
 		}
 		r.Dimensions = append(r.Dimensions, dim)
 	}
 }
 
-// coverage returns the fraction of candidate traffic (in the chosen
-// dimension) covered by the union of the itemsets: a transaction counts
-// once even when several itemsets match it.
-func coverage(ds *itemset.Dataset, sets []itemset.Frequent, byPackets bool) float64 {
-	total := ds.Total(byPackets)
-	if total == 0 {
-		return 1
-	}
-	if len(sets) == 0 {
-		return 0
-	}
-	var covered uint64
-	for i := 0; i < ds.Len(); i++ {
-		tx := ds.Tx(i)
-		for _, fr := range sets {
-			if itemset.Match(&tx.Items, fr.Items) {
-				covered += tx.Weight(byPackets)
-				break
-			}
-		}
-	}
-	return float64(covered) / float64(total)
-}
-
 // baselineFilter drops itemsets whose traffic share in the preceding
 // (baseline) bin is comparable to their share in the alarm bin: such
 // itemsets describe normal traffic structure (popular servers, busy
-// services), not the anomaly.
+// services), not the anomaly. The baseline records stream into a builder
+// exactly like the candidate scan, and the per-itemset baseline supports
+// come from one sharded SupportAll pass.
 func (e *Extractor) baselineFilter(ctx context.Context, iv flow.Interval, ds *itemset.Dataset, list []*ItemsetReport) (kept []*ItemsetReport, dropped int, err error) {
 	span := iv.End - iv.Start
 	if span == 0 || iv.Start < span {
 		return list, 0, nil
 	}
 	baseIv := flow.Interval{Start: iv.Start - span, End: iv.Start}
-	baseRecords, err := e.store.Records(ctx, baseIv, nil)
-	if err != nil {
+	b := itemset.NewBuilder()
+	if err := e.fill(ctx, b, baseIv, nil); err != nil {
 		return nil, 0, err
 	}
-	if len(baseRecords) == 0 {
+	baseDs := b.Dataset()
+	if baseDs.TotalFlows() == 0 {
 		return list, 0, nil
 	}
-	baseDs := itemset.FromRecords(baseRecords)
-	for _, r := range list {
-		alarmShare := float64(r.FlowSupport) / float64(ds.TotalFlows())
-		baseShare := float64(baseDs.Support(r.Items, false)) / float64(baseDs.TotalFlows())
-		pAlarmShare := float64(r.PacketSupport) / float64(ds.TotalPackets())
-		pBaseShare := float64(baseDs.Support(r.Items, true)) / float64(baseDs.TotalPackets())
+	baseSups := baseDs.SupportAll(reportSets(list), 0)
+	// The packet dimension only gets a vote when both datasets carry
+	// packet weight: with a zero total on either side its shares are
+	// trivially 0 >= ratio×0 and would exempt every itemset from the
+	// flow-dimension verdict.
+	packetsVote := ds.TotalPackets() > 0 && baseDs.TotalPackets() > 0
+	for i, r := range list {
+		alarmShare := share(r.FlowSupport, ds.TotalFlows())
+		baseShare := share(baseSups[i].Flows, baseDs.TotalFlows())
 		// Keep when EITHER dimension shows a genuine surge.
-		if alarmShare >= e.opts.BaselineRatio*baseShare || pAlarmShare >= e.opts.BaselineRatio*pBaseShare {
+		keep := alarmShare >= e.opts.BaselineRatio*baseShare
+		if !keep && packetsVote {
+			pAlarmShare := share(r.PacketSupport, ds.TotalPackets())
+			pBaseShare := share(baseSups[i].Packets, baseDs.TotalPackets())
+			keep = pAlarmShare >= e.opts.BaselineRatio*pBaseShare
+		}
+		if keep {
 			kept = append(kept, r)
 		} else {
 			dropped++

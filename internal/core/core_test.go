@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -42,15 +43,30 @@ func hasItem(res *Result, f flow.Feature, v uint32) bool {
 func TestOptionsValidation(t *testing.T) {
 	store, _ := buildScenario(t, gen.Scenario{Bins: 1, StartTime: coreBase, Seed: 1,
 		Background: gen.Background{NumPoPs: 1, FlowsPerBin: 10}})
+	// Explicitly invalid values are errors, uniformly across fields.
 	bad := []Options{
-		{MinItemsets: 5, MaxItemsets: 2, InitialSupportFraction: 0.1},
-		{MinItemsets: 1, MaxItemsets: 5, InitialSupportFraction: 0},
-		{MinItemsets: 1, MaxItemsets: 5, InitialSupportFraction: 2},
-		{MinItemsets: 1, MaxItemsets: 5, InitialSupportFraction: 0.1, PacketCoverageMin: 2},
+		{MinItemsets: 5, MaxItemsets: 2},
+		{InitialSupportFraction: 2},
+		{InitialSupportFraction: -0.5},
+		{PacketCoverageMin: 2},
+		{PacketCoverageMin: -1},
+		{MinItemsets: -1},
+		{MaxItemsets: -1},
+		{MaxTuningRounds: -1},
+		{MinCandidates: -3},
+		{CoverageTarget: 1.5},
+		{CoverageTarget: -0.1},
+		{BaselineRatio: 0.5},
+		{MaxLen: -1},
+		{Miner: "no-such-miner"},
+		{InitialSupportFraction: math.NaN()},
+		{CoverageTarget: math.NaN()},
+		{PacketCoverageMin: math.NaN()},
+		{BaselineRatio: math.NaN()},
 	}
 	for i, o := range bad {
 		if _, err := New(store, o); err == nil {
-			t.Errorf("options %d must be rejected", i)
+			t.Errorf("options %d (%+v) must be rejected", i, o)
 		}
 	}
 	if _, err := New(nil, DefaultOptions()); err == nil {
@@ -58,6 +74,49 @@ func TestOptionsValidation(t *testing.T) {
 	}
 	if _, err := New(store, DefaultOptions()); err != nil {
 		t.Errorf("default options rejected: %v", err)
+	}
+}
+
+func TestOptionsZeroValuesInheritDefaults(t *testing.T) {
+	// The zero value of every field inherits the default (never an
+	// error, never a surprising rewrite of an explicit value).
+	var o Options
+	if err := o.validate(); err != nil {
+		t.Fatalf("zero options must validate: %v", err)
+	}
+	def := DefaultOptions()
+	if o.MinItemsets != def.MinItemsets || o.MaxItemsets != def.MaxItemsets {
+		t.Errorf("band = [%d,%d], want [%d,%d]", o.MinItemsets, o.MaxItemsets, def.MinItemsets, def.MaxItemsets)
+	}
+	if o.InitialSupportFraction != def.InitialSupportFraction {
+		t.Errorf("InitialSupportFraction = %v, want %v", o.InitialSupportFraction, def.InitialSupportFraction)
+	}
+	if o.SupportFloor != def.SupportFloor {
+		t.Errorf("SupportFloor = %d, want %d", o.SupportFloor, def.SupportFloor)
+	}
+	if o.MaxTuningRounds != def.MaxTuningRounds {
+		t.Errorf("MaxTuningRounds = %d, want %d", o.MaxTuningRounds, def.MaxTuningRounds)
+	}
+	if o.MinCandidates != def.MinCandidates {
+		t.Errorf("MinCandidates = %d, want %d", o.MinCandidates, def.MinCandidates)
+	}
+	if o.CoverageTarget != def.CoverageTarget {
+		t.Errorf("CoverageTarget = %v, want %v", o.CoverageTarget, def.CoverageTarget)
+	}
+	if o.BaselineRatio != def.BaselineRatio {
+		t.Errorf("BaselineRatio = %v, want %v", o.BaselineRatio, def.BaselineRatio)
+	}
+
+	// Explicit valid boundary values survive untouched (the old validate
+	// silently rewrote BaselineRatio <= 1 and out-of-range CoverageTarget).
+	o = DefaultOptions()
+	o.BaselineRatio = 1
+	o.CoverageTarget = 1
+	if err := o.validate(); err != nil {
+		t.Fatalf("boundary values must validate: %v", err)
+	}
+	if o.BaselineRatio != 1 || o.CoverageTarget != 1 {
+		t.Errorf("boundary values rewritten: ratio=%v target=%v", o.BaselineRatio, o.CoverageTarget)
 	}
 }
 

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/flow"
+	"repro/internal/itemset"
+	"repro/internal/nfstore"
+	"repro/internal/stats"
+)
+
+// benchStore writes ~n records into a fresh store (one bin) and returns
+// it with the covering interval.
+func benchStore(b *testing.B, n int) (*nfstore.Store, flow.Interval) {
+	b.Helper()
+	store, err := nfstore.Create(b.TempDir(), 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Close() })
+	rng := stats.NewRNG(7)
+	base := uint32(1_300_000_200)
+	recs := make([]flow.Record, 0, 4096)
+	for i := 0; i < n; i++ {
+		pk := uint64(rng.Intn(40) + 1)
+		recs = append(recs, flow.Record{
+			Start:   base + uint32(i%300),
+			SrcIP:   flow.IP(rng.Intn(5000)),
+			DstIP:   flow.IP(rng.Intn(200)),
+			SrcPort: uint16(rng.Intn(60000)),
+			DstPort: uint16(rng.Intn(1024)),
+			Proto:   flow.ProtoTCP,
+			Packets: pk,
+			Bytes:   pk * 40,
+		})
+		if len(recs) == cap(recs) {
+			if err := store.AddAll(recs); err != nil {
+				b.Fatal(err)
+			}
+			recs = recs[:0]
+		}
+	}
+	if err := store.AddAll(recs); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return store, flow.Interval{Start: base, End: base + 300}
+}
+
+// BenchmarkCandidateSelection contrasts the streaming candidate path (the
+// record iterator feeding itemset.Builder — no []flow.Record is ever
+// allocated for the candidate set) against the old materialize-then-
+// aggregate path. Compare B/op: the materialized path's growing record
+// slice dominates its footprint; the streaming path's allocations are the
+// aggregated transactions only. SetParallelism(1) keeps the query engine
+// off its batching workers so the slices measured are the candidate
+// path's own.
+func BenchmarkCandidateSelection(b *testing.B) {
+	const n = 100_000
+	store, iv := benchStore(b, n)
+	store.SetParallelism(1)
+	ex := MustNew(store, DefaultOptions())
+	alarm := &detector.Alarm{Interval: iv}
+
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ds, _, err := ex.candidates(b.Context(), alarm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ds.TotalFlows() != n {
+				b.Fatalf("streamed %d flows, want %d", ds.TotalFlows(), n)
+			}
+		}
+	})
+	b.Run("materialized-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			records, err := store.Records(b.Context(), iv, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds := itemset.FromRecords(records)
+			if ds.TotalFlows() != n {
+				b.Fatalf("materialized %d flows, want %d", ds.TotalFlows(), n)
+			}
+		}
+	})
+}

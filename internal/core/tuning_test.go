@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/itemset"
+	"repro/internal/stats"
+)
+
+// tinyExtractor builds an extractor over a throwaway store (mineTuned
+// only touches the dataset, not the store).
+func tinyExtractor(t *testing.T, opts Options) *Extractor {
+	t.Helper()
+	store, _ := buildScenario(t, gen.Scenario{Bins: 1, StartTime: coreBase, Seed: 1,
+		Background: gen.Background{NumPoPs: 1, FlowsPerBin: 10}})
+	ex, err := New(store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// uniformDataset builds n distinct single-flow transactions (every
+// itemset is weak) — the shape that exhausts tuning rounds.
+func uniformDataset(seed uint64, n int) *itemset.Dataset {
+	rng := stats.NewRNG(seed)
+	txs := make([]itemset.Tx, n)
+	for i := range txs {
+		r := flow.Record{
+			SrcIP:   flow.IP(rng.Intn(1 << 20)),
+			DstIP:   flow.IP(rng.Intn(1 << 20)),
+			SrcPort: uint16(i),
+			DstPort: uint16(rng.Intn(1 << 14)),
+			Proto:   flow.ProtoTCP,
+		}
+		txs[i] = itemset.Tx{Items: itemset.ItemsOf(&r), Flows: 1, Packets: 10}
+	}
+	return itemset.FromTxs(txs)
+}
+
+// dominantDataset is one transaction carrying all the weight: a single
+// maximal itemset covers 100% of the traffic.
+func dominantDataset(totalFlows uint64) *itemset.Dataset {
+	r := flow.Record{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: flow.ProtoTCP}
+	return itemset.FromTxs([]itemset.Tx{
+		{Items: itemset.ItemsOf(&r), Flows: totalFlows, Packets: totalFlows * 10},
+	})
+}
+
+// TestTuningFloorReachedRoundOne: when the initial support already sits
+// at the floor, the loop must record exactly one round and stop.
+func TestTuningFloorReachedRoundOne(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SupportFloor = 10
+	opts.InitialSupportFraction = 0.2
+	ex := tinyExtractor(t, opts)
+
+	// 20 flows: 0.2 × 20 = 4 < floor 10, so InitialMin clamps to the floor.
+	ds := uniformDataset(1, 20)
+	_, tuning, err := ex.mineTuned(t.Context(), ds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuning.Rounds != 1 {
+		t.Fatalf("Rounds = %d, want 1 (floor reached immediately)", tuning.Rounds)
+	}
+	if tuning.InitialMin != opts.SupportFloor || tuning.FinalMin != opts.SupportFloor {
+		t.Fatalf("trajectory %d -> %d, want pinned at floor %d",
+			tuning.InitialMin, tuning.FinalMin, opts.SupportFloor)
+	}
+}
+
+// TestTuningCoverageSatisfiedButBandNot: one dominant itemset covers all
+// traffic (CoverageTarget satisfied from round 1) but the MinItemsets
+// band is not — the loop must keep halving all the way to the floor
+// rather than stop at "coverage explained".
+func TestTuningCoverageSatisfiedButBandNot(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SupportFloor = 1
+	opts.InitialSupportFraction = 0.5
+	opts.MinItemsets = 2
+	opts.MaxTuningRounds = 20
+	ex := tinyExtractor(t, opts)
+
+	ds := dominantDataset(1024)
+	res, tuning, err := ex.mineTuned(t.Context(), ds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Coverage([]itemset.Set{res[0].Items}, false, 0); got < opts.CoverageTarget {
+		t.Fatalf("test premise broken: coverage %v < target %v", got, opts.CoverageTarget)
+	}
+	if tuning.ItemsetsSeen >= opts.MinItemsets {
+		t.Fatalf("test premise broken: %d itemsets reached the band", tuning.ItemsetsSeen)
+	}
+	// InitialMin 512 halves to the floor: rounds 0..9 mine at
+	// 512,256,...,1 — ten rounds, final support 1.
+	if tuning.InitialMin != 512 {
+		t.Fatalf("InitialMin = %d, want 512", tuning.InitialMin)
+	}
+	if tuning.FinalMin != 1 {
+		t.Fatalf("FinalMin = %d, want 1 (halved to the floor)", tuning.FinalMin)
+	}
+	if tuning.Rounds != 10 {
+		t.Fatalf("Rounds = %d, want 10", tuning.Rounds)
+	}
+}
+
+// TestTuningMaxRoundsExhaustion: a uniform dataset never reaches the
+// band, so the loop must stop at MaxTuningRounds with the support halved
+// exactly Rounds-1 times.
+func TestTuningMaxRoundsExhaustion(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SupportFloor = 1
+	opts.InitialSupportFraction = 1
+	opts.MaxTuningRounds = 3
+	ex := tinyExtractor(t, opts)
+
+	ds := uniformDataset(2, 4096)
+	_, tuning, err := ex.mineTuned(t.Context(), ds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuning.Rounds != opts.MaxTuningRounds {
+		t.Fatalf("Rounds = %d, want %d (exhaustion)", tuning.Rounds, opts.MaxTuningRounds)
+	}
+	if tuning.InitialMin != 4096 {
+		t.Fatalf("InitialMin = %d, want 4096", tuning.InitialMin)
+	}
+	// No stop condition is ever met, so the support halves after every
+	// round (4096 -> 2048 -> 1024 -> 512): FinalMin records the support a
+	// fourth round would have mined at.
+	if tuning.FinalMin != 512 {
+		t.Fatalf("FinalMin = %d, want 512 after three halvings", tuning.FinalMin)
+	}
+}
+
+func TestShareGuardsZeroTotal(t *testing.T) {
+	if got := share(5, 0); got != 0 {
+		t.Fatalf("share(5,0) = %v, want 0 (not NaN/Inf)", got)
+	}
+	if got := share(0, 0); got != 0 {
+		t.Fatalf("share(0,0) = %v, want 0", got)
+	}
+	if got := share(3, 4); got != 0.75 {
+		t.Fatalf("share(3,4) = %v, want 0.75", got)
+	}
+}
+
+// TestScoresNeverNaN runs a full extraction and asserts the ranking
+// never produces NaN scores (the latent pShare division bug).
+func TestScoresNeverNaN(t *testing.T) {
+	scanner := flow.MustParseIP("10.9.9.9")
+	victim := flow.MustParseIP("198.19.0.9")
+	s := gen.Scenario{
+		Background: gen.Background{NumPoPs: 2, FlowsPerBin: 200},
+		Bins:       4, StartTime: coreBase, Seed: 33,
+		Placements: []gen.Placement{
+			{Anomaly: gen.PortScan{Scanner: scanner, Victim: victim, SrcPort: 55548,
+				Ports: 800, FlowsPerPort: 1, Router: 0}, Bin: 2},
+		},
+	}
+	store, truth := buildScenario(t, s)
+	ex := MustNew(store, DefaultOptions())
+	res, err := ex.Extract(t.Context(), &detector.Alarm{Interval: truth.Entries[0].Interval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range res.Itemsets {
+		if math.IsNaN(rep.Score) || math.IsInf(rep.Score, 0) {
+			t.Fatalf("itemset %v has score %v", rep.Items, rep.Score)
+		}
+	}
+}
+
+// TestExtractMinerEquivalence runs the same extraction through every
+// registered miner and requires identical results — the engine-level
+// restatement of the cross-miner property tests.
+func TestExtractMinerEquivalence(t *testing.T) {
+	scannerA := flow.MustParseIP("10.191.64.165")
+	victim := flow.MustParseIP("198.18.137.129")
+	s := gen.Scenario{
+		Background: gen.Background{NumPoPs: 2, FlowsPerBin: 300},
+		Bins:       4, StartTime: coreBase, Seed: 44,
+		Placements: []gen.Placement{
+			{Anomaly: gen.PortScan{Scanner: scannerA, Victim: victim, SrcPort: 55548,
+				Ports: 1500, FlowsPerPort: 2, Router: 1}, Bin: 2},
+			{Anomaly: gen.SYNFlood{Victim: victim, DstPort: 80, Sources: 400,
+				SourceNet: flow.MustParsePrefix("172.16.0.0/12"), FlowsPerSource: 2, Router: 0}, Bin: 2},
+		},
+	}
+	store, truth := buildScenario(t, s)
+	alarm := &detector.Alarm{Interval: truth.Entries[0].Interval}
+
+	apOpts := DefaultOptions()
+	apOpts.Miner = "apriori"
+	apRes, err := MustNew(store, apOpts).Extract(t.Context(), alarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apRes.Itemsets) == 0 {
+		t.Fatal("no itemsets extracted")
+	}
+
+	fpOpts := DefaultOptions()
+	fpOpts.Miner = "fpgrowth"
+	fpRes, err := MustNew(store, fpOpts).Extract(t.Context(), alarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apRes.Itemsets) != len(fpRes.Itemsets) {
+		t.Fatalf("apriori found %d itemsets, fpgrowth %d", len(apRes.Itemsets), len(fpRes.Itemsets))
+	}
+	for i := range apRes.Itemsets {
+		a, f := &apRes.Itemsets[i], &fpRes.Itemsets[i]
+		if !a.Items.Equal(f.Items) || a.FlowSupport != f.FlowSupport ||
+			a.PacketSupport != f.PacketSupport || a.Score != f.Score {
+			t.Fatalf("row %d differs: %v vs %v", i, a, f)
+		}
+	}
+}

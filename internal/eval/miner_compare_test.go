@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"testing"
+)
+
+// TestRunMinerComparison runs a small GEANT subset head-to-head through
+// both built-in miners. Because registered miners are pinned to
+// identical canonical mining output, the suites must agree scenario by
+// scenario — usefulness, additional evidence, and itemset counts.
+func TestRunMinerComparison(t *testing.T) {
+	all := GEANTSpecs(3)
+	// A scan, a scan with co-occurring DDoS, a DDoS and a UDP flood.
+	subset := []ScenarioSpec{all[0], all[3], all[18], all[27]}
+	runs, err := RunMinerComparison("geant-subset", subset, SuiteConfig{
+		SeedBase: 901, SampleRate: 100, WorkDir: t.TempDir(),
+	}, []string{"apriori", "fpgrowth"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("%d runs, want 2", len(runs))
+	}
+	ap, fp := runs[0], runs[1]
+	if ap.Miner != "apriori" || fp.Miner != "fpgrowth" {
+		t.Fatalf("miners = %s, %s", ap.Miner, fp.Miner)
+	}
+	if ap.Result.Useful() == 0 {
+		t.Fatal("no useful extractions in the comparison subset")
+	}
+	if len(ap.Result.Evals) != len(fp.Result.Evals) {
+		t.Fatalf("eval counts differ: %d vs %d", len(ap.Result.Evals), len(fp.Result.Evals))
+	}
+	for i := range ap.Result.Evals {
+		a, f := ap.Result.Evals[i], fp.Result.Evals[i]
+		if a.Score.Useful != f.Score.Useful ||
+			a.Score.Additional != f.Score.Additional ||
+			a.ItemsetCount != f.ItemsetCount {
+			t.Errorf("scenario %d (%s): apriori %+v vs fpgrowth %+v", i, a.Name, a.Score, f.Score)
+		}
+	}
+}
+
+// TestRunMinerComparisonDefaultsToRegistry: passing no miner list runs
+// every registered miner.
+func TestRunMinerComparisonDefaultsToRegistry(t *testing.T) {
+	all := SWITCHSpecs(5)
+	subset := []ScenarioSpec{all[0]}
+	runs, err := RunMinerComparison("switch-one", subset, SuiteConfig{
+		SeedBase: 905, SampleRate: 1, WorkDir: t.TempDir(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) < 2 {
+		t.Fatalf("%d runs, want every registered miner (>= 2)", len(runs))
+	}
+	seen := map[string]bool{}
+	for _, r := range runs {
+		seen[r.Miner] = true
+	}
+	if !seen["apriori"] || !seen["fpgrowth"] {
+		t.Fatalf("runs missing a built-in miner: %v", seen)
+	}
+}
+
+// TestRunMinerComparisonUnknownMiner surfaces the registry error.
+func TestRunMinerComparisonUnknownMiner(t *testing.T) {
+	all := SWITCHSpecs(5)
+	_, err := RunMinerComparison("bad", []ScenarioSpec{all[0]}, SuiteConfig{
+		SeedBase: 906, SampleRate: 1, WorkDir: t.TempDir(),
+	}, []string{"frobnicator"})
+	if err == nil {
+		t.Fatal("unknown miner must fail the comparison")
+	}
+}

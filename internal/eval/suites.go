@@ -12,6 +12,7 @@ import (
 	"repro/internal/gen"
 	// Built-in detectors register themselves for detectAlarm's lookup.
 	_ "repro/internal/histogram"
+	"repro/internal/miner"
 	_ "repro/internal/netreflex"
 	"repro/internal/nfstore"
 	"repro/internal/stats"
@@ -55,6 +56,9 @@ type SuiteConfig struct {
 	Background *gen.Background
 	// Extraction overrides core.DefaultOptions (nil = default).
 	Extraction *core.Options
+	// Miner selects the frequent-itemset miner by registry name; it wins
+	// over Extraction.Miner ("" keeps it).
+	Miner string
 }
 
 // ScenarioEval is the outcome of one suite scenario.
@@ -315,6 +319,9 @@ func RunSuite(name string, specs []ScenarioSpec, cfg SuiteConfig) (*SuiteResult,
 	if cfg.Extraction != nil {
 		exOpts = *cfg.Extraction
 	}
+	if cfg.Miner != "" {
+		exOpts.Miner = cfg.Miner
+	}
 
 	result := &SuiteResult{Name: name}
 	for i, spec := range specs {
@@ -325,6 +332,41 @@ func RunSuite(name string, specs []ScenarioSpec, cfg SuiteConfig) (*SuiteResult,
 		result.Evals = append(result.Evals, *eval)
 	}
 	return result, nil
+}
+
+// MinerRun is one miner's outcome of a head-to-head suite comparison.
+type MinerRun struct {
+	Miner  string
+	Result *SuiteResult
+}
+
+// RunMinerComparison runs the same suite once per miner (defaulting to
+// every registered miner) with identical scenario seeds, so the runs are
+// directly comparable row by row: registered miners are pinned to
+// identical canonical mining results, so per-scenario usefulness and
+// itemset counts must agree — the eval-level cross-check of the
+// miner-registry property tests, and the harness for timing miners
+// head-to-head on realistic extraction workloads.
+func RunMinerComparison(name string, specs []ScenarioSpec, cfg SuiteConfig, miners []string) ([]MinerRun, error) {
+	if len(miners) == 0 {
+		miners = miner.Names()
+	}
+	runs := make([]MinerRun, 0, len(miners))
+	for _, m := range miners {
+		mcfg := cfg
+		mcfg.Miner = m
+		if cfg.WorkDir != "" {
+			// Per-miner store directories: scenario stores must not collide
+			// across runs.
+			mcfg.WorkDir = filepath.Join(cfg.WorkDir, m)
+		}
+		res, err := RunSuite(fmt.Sprintf("%s[%s]", name, m), specs, mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("eval: miner %s: %w", m, err)
+		}
+		runs = append(runs, MinerRun{Miner: m, Result: res})
+	}
+	return runs, nil
 }
 
 // runScenario generates, detects (optionally), extracts and scores one

@@ -14,13 +14,32 @@ import (
 	"context"
 	"sort"
 
-	"repro/internal/apriori"
 	"repro/internal/flow"
 	"repro/internal/itemset"
+	"repro/internal/miner"
 )
 
-// Options mirrors apriori.Options so the two miners are interchangeable.
-type Options = apriori.Options
+// Options is the shared miner configuration (see miner.Options), so the
+// two built-in miners are interchangeable.
+type Options = miner.Options
+
+// Miner is the registry adapter: package-level Mine/MineMaximal behind
+// the miner.Miner interface. Registered as "fpgrowth".
+type Miner struct{}
+
+// Mine implements miner.Miner.
+func (Miner) Mine(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
+	return Mine(ctx, ds, opts)
+}
+
+// MineMaximal implements miner.Miner.
+func (Miner) MineMaximal(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
+	return MineMaximal(ctx, ds, opts)
+}
+
+func init() {
+	miner.MustRegister("fpgrowth", func() miner.Miner { return Miner{} })
+}
 
 // node is one FP-tree node.
 type node struct {
@@ -69,7 +88,7 @@ func (t *tree) insert(items []itemset.Item, weight uint64) {
 // conditional-tree expansions and returns ctx.Err().
 func Mine(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
 	if opts.MinSupport == 0 {
-		return nil, apriori.ErrZeroSupport
+		return nil, miner.ErrZeroSupport
 	}
 	maxLen := opts.MaxLen
 	if maxLen <= 0 || maxLen > flow.NumFeatures {

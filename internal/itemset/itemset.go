@@ -216,23 +216,72 @@ type Dataset struct {
 // 5-tuple becomes one transaction whose Flows weight is the number of
 // records and whose Packets weight is their packet sum.
 func FromRecords(records []flow.Record) *Dataset {
-	idx := make(map[TxItems]int, len(records))
-	ds := &Dataset{}
+	b := NewBuilder()
 	for i := range records {
-		r := &records[i]
-		items := ItemsOf(r)
-		j, ok := idx[items]
-		if !ok {
-			j = len(ds.txs)
-			idx[items] = j
-			ds.txs = append(ds.txs, Tx{Items: items})
-		}
-		ds.txs[j].Flows++
-		ds.txs[j].Packets += r.Packets
-		ds.totalFlows++
-		ds.totalPackets += r.Packets
+		b.Add(&records[i])
 	}
-	return ds
+	return b.Dataset()
+}
+
+// Builder aggregates streamed flow records into a Dataset incrementally,
+// so candidate selection can ride a record iterator without ever
+// materializing the raw []flow.Record. Identical 5-tuples fold into one
+// weighted transaction as they arrive; the builder's memory is
+// proportional to the number of distinct 5-tuples, not to the number of
+// records. The zero value is not usable; start from NewBuilder.
+type Builder struct {
+	idx map[TxItems]int
+	ds  Dataset
+}
+
+// NewBuilder returns an empty streaming dataset builder.
+func NewBuilder() *Builder {
+	return &Builder{idx: make(map[TxItems]int)}
+}
+
+// Add folds one flow record into the dataset under construction. The
+// record is only read, never retained.
+func (b *Builder) Add(r *flow.Record) {
+	items := ItemsOf(r)
+	j, ok := b.idx[items]
+	if !ok {
+		j = len(b.ds.txs)
+		b.idx[items] = j
+		b.ds.txs = append(b.ds.txs, Tx{Items: items})
+	}
+	b.ds.txs[j].Flows++
+	b.ds.txs[j].Packets += r.Packets
+	b.ds.totalFlows++
+	b.ds.totalPackets += r.Packets
+}
+
+// Flows returns the number of records added so far (the flow total of the
+// dataset under construction) — the candidate-count the engine checks
+// against MinCandidates before committing to a prefiltered dataset.
+func (b *Builder) Flows() uint64 { return b.ds.totalFlows }
+
+// Len returns the number of distinct transactions aggregated so far.
+func (b *Builder) Len() int { return len(b.ds.txs) }
+
+// Reset discards everything added so far, keeping the builder usable —
+// the full-interval fallback path reuses one builder after an
+// insufficient prefiltered pass.
+func (b *Builder) Reset() {
+	clear(b.idx)
+	b.ds.txs = b.ds.txs[:0]
+	b.ds.totalFlows = 0
+	b.ds.totalPackets = 0
+}
+
+// Dataset finalizes the builder and returns the aggregated dataset. The
+// builder must not be used afterwards (the dataset takes ownership of the
+// transaction storage); call Reset before Dataset to reuse a builder
+// across passes instead.
+func (b *Builder) Dataset() *Dataset {
+	ds := b.ds
+	b.ds = Dataset{}
+	b.idx = nil
+	return &ds
 }
 
 // FromTxs builds a Dataset directly from prepared transactions (used by
@@ -332,17 +381,36 @@ func SortFrequent(fs []Frequent) {
 // proper superset in fs. The paper reports maximal itemsets to the
 // operator — subsets restate the same flows with less detail. Input order
 // is irrelevant; output is canonically sorted.
+//
+// Sets are bucketed by length and each set is tested only against the
+// strictly longer buckets — a proper superset is necessarily longer — so
+// the all-pairs scan the naive version runs (n² subset checks, most of
+// them against equal-or-shorter sets that can never disqualify anything)
+// collapses to the cross-length pairs only. A length-1 set in a typical
+// mining result checks a handful of long sets instead of all n-1 others.
 func MaximalOnly(fs []Frequent) []Frequent {
+	maxLen := 0
+	for i := range fs {
+		if l := len(fs[i].Items); l > maxLen {
+			maxLen = l
+		}
+	}
+	// byLen[l] holds the indices of the length-l sets.
+	byLen := make([][]int, maxLen+1)
+	for i := range fs {
+		l := len(fs[i].Items)
+		byLen[l] = append(byLen[l], i)
+	}
 	out := make([]Frequent, 0, len(fs))
 	for i := range fs {
 		maximal := true
-		for j := range fs {
-			if i == j {
-				continue
-			}
-			if len(fs[j].Items) > len(fs[i].Items) && fs[i].Items.SubsetOf(fs[j].Items) {
-				maximal = false
-				break
+	scan:
+		for l := len(fs[i].Items) + 1; l <= maxLen; l++ {
+			for _, j := range byLen[l] {
+				if fs[i].Items.SubsetOf(fs[j].Items) {
+					maximal = false
+					break scan
+				}
 			}
 		}
 		if maximal {

@@ -1,0 +1,161 @@
+package itemset
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Support counting and the engine's coverage loop are embarrassingly
+// parallel over transactions: the dataset is sharded into contiguous
+// transaction ranges, a bounded worker pool accumulates per-shard
+// partial sums, and the partials merge by addition. Results are exactly
+// the serial ones — uint64 addition is associative — so the parallel
+// paths need no tolerance in tests.
+
+// maxShardWorkers caps the automatic worker count: the per-shard work is
+// pure CPU (array scans and feature-indexed compares), and past a
+// handful of workers the merge and scheduling overhead dominates on the
+// small datasets extraction usually sees.
+const maxShardWorkers = 8
+
+// shardSerialWork is the transaction×set work below which the automatic
+// worker choice stays serial: spawning goroutines for a few thousand
+// containment checks costs more than the checks themselves. An explicit
+// workers count always wins.
+const shardSerialWork = 1 << 14
+
+// resolveShardWorkers turns a requested worker count into the effective
+// one for a pass over nsets itemsets: 0 picks min(GOMAXPROCS,
+// maxShardWorkers) but stays serial below shardSerialWork (an explicit
+// count always wins), and the result never exceeds one worker per
+// transaction.
+func (ds *Dataset) resolveShardWorkers(workers, nsets int) int {
+	if workers <= 0 {
+		if len(ds.txs)*nsets < shardSerialWork {
+			return 1
+		}
+		workers = min(runtime.GOMAXPROCS(0), maxShardWorkers)
+	}
+	if workers > len(ds.txs) {
+		workers = len(ds.txs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runShards executes fn once per shard, concurrently, and waits for all
+// of them. Shard w receives its contiguous transaction range.
+func (ds *Dataset) runShards(workers int, fn func(w int, txs []Tx)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := shardBounds(w, workers, len(ds.txs))
+		wg.Add(1)
+		go func(w int, txs []Tx) {
+			defer wg.Done()
+			fn(w, txs)
+		}(w, ds.txs[lo:hi])
+	}
+	wg.Wait()
+}
+
+// shardBounds returns the half-open transaction range of shard i of n
+// over txs transactions, splitting as evenly as possible.
+func shardBounds(i, n, txs int) (lo, hi int) {
+	lo = i * txs / n
+	hi = (i + 1) * txs / n
+	return lo, hi
+}
+
+// DualSupport is an itemset's support in both mining dimensions.
+type DualSupport struct {
+	Flows   uint64
+	Packets uint64
+}
+
+// SupportAll computes the flow and packet support of every given itemset
+// with one sharded parallel pass over the dataset (workers <= 0 picks
+// min(GOMAXPROCS, 8)). It returns one DualSupport per input set, in
+// input order, and equals calling Support twice per set.
+func (ds *Dataset) SupportAll(sets []Set, workers int) []DualSupport {
+	out := make([]DualSupport, len(sets))
+	if len(sets) == 0 || len(ds.txs) == 0 {
+		return out
+	}
+	workers = ds.resolveShardWorkers(workers, len(sets))
+	if workers == 1 {
+		supportShard(ds.txs, sets, out)
+		return out
+	}
+	partials := make([][]DualSupport, workers)
+	ds.runShards(workers, func(w int, txs []Tx) {
+		acc := make([]DualSupport, len(sets))
+		supportShard(txs, sets, acc)
+		partials[w] = acc
+	})
+	for _, acc := range partials {
+		for i := range out {
+			out[i].Flows += acc[i].Flows
+			out[i].Packets += acc[i].Packets
+		}
+	}
+	return out
+}
+
+// supportShard accumulates both supports of every set over one
+// transaction range.
+func supportShard(txs []Tx, sets []Set, acc []DualSupport) {
+	for t := range txs {
+		tx := &txs[t]
+		for i, s := range sets {
+			if txContains(&tx.Items, s) {
+				acc[i].Flows += tx.Flows
+				acc[i].Packets += tx.Packets
+			}
+		}
+	}
+}
+
+// Coverage returns the fraction of dataset traffic (in the chosen
+// dimension) covered by the union of the itemsets: a transaction counts
+// once even when several itemsets match it. The scan fans out over the
+// same sharded worker pool as SupportAll. An empty dataset is fully
+// covered by definition; a non-empty dataset with no sets is uncovered.
+func (ds *Dataset) Coverage(sets []Set, byPackets bool, workers int) float64 {
+	total := ds.Total(byPackets)
+	if total == 0 {
+		return 1
+	}
+	if len(sets) == 0 {
+		return 0
+	}
+	workers = ds.resolveShardWorkers(workers, len(sets))
+	if workers == 1 {
+		return float64(coverageShard(ds.txs, sets, byPackets)) / float64(total)
+	}
+	partials := make([]uint64, workers)
+	ds.runShards(workers, func(w int, txs []Tx) {
+		partials[w] = coverageShard(txs, sets, byPackets)
+	})
+	var covered uint64
+	for _, c := range partials {
+		covered += c
+	}
+	return float64(covered) / float64(total)
+}
+
+// coverageShard sums the covered weight of one transaction range.
+func coverageShard(txs []Tx, sets []Set, byPackets bool) uint64 {
+	var covered uint64
+	for t := range txs {
+		tx := &txs[t]
+		for _, s := range sets {
+			if txContains(&tx.Items, s) {
+				covered += tx.Weight(byPackets)
+				break
+			}
+		}
+	}
+	return covered
+}

@@ -1,0 +1,123 @@
+// Package miner defines the pluggable frequent-itemset-mining seam of the
+// extraction engine: a Miner interface over flow-transaction datasets and
+// a named factory registry mirroring internal/detector.
+//
+// The paper's system mines with Apriori; FP-Growth (Han, Pei & Yin,
+// SIGMOD'00) is the natural alternative on dense transaction databases.
+// Both built-ins self-register from their packages' init functions under
+// the names "apriori" and "fpgrowth", and both are pinned — by property
+// tests over random weighted datasets — to emit byte-identical canonical
+// results, so the extraction engine can swap miners without changing a
+// single reported itemset. External miners plug in through Register and
+// become selectable everywhere a miner name is accepted: core.Options,
+// rootcause.WithMiner, the -miner CLI flags, and rcad's HTTP API.
+package miner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/itemset"
+)
+
+// Options configures one mining run. It is the shared configuration
+// contract every registered miner honors identically.
+type Options struct {
+	// MinSupport is the absolute minimum support in the chosen dimension.
+	// Itemsets whose support is >= MinSupport are frequent. Must be >= 1.
+	MinSupport uint64
+	// ByPackets selects the support dimension: false counts flows (classic
+	// Apriori over flow transactions, as in the IMC'09 paper), true counts
+	// packets (the extension this paper adds for low-flow floods).
+	ByPackets bool
+	// MaxLen bounds the itemset length; 0 means no bound (i.e. up to
+	// flow.NumFeatures).
+	MaxLen int
+}
+
+// ErrZeroSupport is returned when Options.MinSupport is 0, which would
+// declare every possible itemset frequent.
+var ErrZeroSupport = errors.New("miner: MinSupport must be >= 1")
+
+// Miner mines frequent itemsets from a flow-transaction dataset. All
+// implementations must produce identical canonical output ([]Frequent in
+// itemset.SortFrequent order with equal supports) for equal inputs; the
+// cross-miner property tests enforce this for every registered miner.
+type Miner interface {
+	// Mine returns all itemsets with support >= opts.MinSupport in the
+	// chosen dimension, canonically sorted. Cancelling ctx aborts mining
+	// promptly with ctx.Err().
+	Mine(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error)
+	// MineMaximal mines and reduces the result to maximal itemsets, the
+	// form the paper reports to operators.
+	MineMaximal(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error)
+}
+
+// Factory builds a miner instance. Miners are stateless between runs, so
+// factories typically return a shared value.
+type Factory func() Miner
+
+// DefaultName is the miner used when no name is given: the paper's
+// extended Apriori.
+const DefaultName = "apriori"
+
+// registry holds the named miner factories. Built-in miners self-register
+// from their packages' init functions.
+var registry = struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}{factories: map[string]Factory{}}
+
+// Register adds a named miner factory. The name must be non-empty and not
+// already taken.
+func Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("miner: register with empty name")
+	}
+	if f == nil {
+		return fmt.Errorf("miner: register %q with nil factory", name)
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		return fmt.Errorf("miner: %q already registered", name)
+	}
+	registry.factories[name] = f
+	return nil
+}
+
+// MustRegister is Register that panics on error; for package init use.
+func MustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Names lists the registered miner names, sorted.
+func Names() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	names := make([]string, 0, len(registry.factories))
+	for name := range registry.factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New builds the named miner ("" selects DefaultName).
+func New(name string) (Miner, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	registry.mu.RLock()
+	f, ok := registry.factories[name]
+	registry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("miner: unknown miner %q (have %v)", name, Names())
+	}
+	return f(), nil
+}

@@ -1,0 +1,199 @@
+package miner_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/itemset"
+	"repro/internal/miner"
+	"repro/internal/stats"
+
+	// Built-in miners self-register.
+	_ "repro/internal/apriori"
+	_ "repro/internal/fpgrowth"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := miner.Names()
+	want := map[string]bool{"apriori": false, "fpgrowth": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("built-in miner %q not registered (have %v)", n, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	if err := miner.Register("", func() miner.Miner { return nil }); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if err := miner.Register("nilfactory", nil); err == nil {
+		t.Error("nil factory must be rejected")
+	}
+	if err := miner.Register("apriori", func() miner.Miner { return nil }); err == nil {
+		t.Error("duplicate name must be rejected")
+	}
+	if _, err := miner.New("no-such-miner"); err == nil {
+		t.Error("unknown miner must be rejected")
+	}
+}
+
+func TestDefaultNameResolves(t *testing.T) {
+	m, err := miner.New("")
+	if err != nil {
+		t.Fatalf("default miner: %v", err)
+	}
+	if m == nil {
+		t.Fatal("default miner is nil")
+	}
+}
+
+func TestZeroSupportRejectedByAll(t *testing.T) {
+	ds := randomWeightedDataset(1, 10)
+	for _, name := range miner.Names() {
+		m, err := miner.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Mine(t.Context(), ds, miner.Options{}); !errors.Is(err, miner.ErrZeroSupport) {
+			t.Errorf("%s: got %v, want ErrZeroSupport", name, err)
+		}
+	}
+}
+
+// randomWeightedDataset builds a transaction database directly (FromTxs,
+// not record aggregation) with adversarial weights: zero-flow and
+// zero-packet transactions, heavy packet skew, and a small value alphabet
+// so itemsets overlap densely.
+func randomWeightedDataset(seed uint64, n int) *itemset.Dataset {
+	rng := stats.NewRNG(seed)
+	protos := []flow.Protocol{flow.ProtoTCP, flow.ProtoUDP, flow.ProtoICMP}
+	txs := make([]itemset.Tx, n)
+	for i := range txs {
+		r := flow.Record{
+			SrcIP:   flow.IP(rng.Intn(5)),
+			DstIP:   flow.IP(rng.Intn(5)),
+			SrcPort: uint16(rng.Intn(4)),
+			DstPort: uint16(rng.Intn(4)),
+			Proto:   protos[rng.Intn(3)],
+		}
+		var flows, packets uint64
+		switch rng.Intn(4) {
+		case 0: // light
+			flows, packets = uint64(rng.Intn(3)), uint64(rng.Intn(10))
+		case 1: // heavy packet skew (the UDP-flood shape)
+			flows, packets = 1+uint64(rng.Intn(2)), uint64(1_000+rng.Intn(100_000))
+		case 2: // heavy flow skew (the scan shape)
+			flows, packets = uint64(100+rng.Intn(1_000)), uint64(100+rng.Intn(1_000))
+		default:
+			flows, packets = uint64(rng.Intn(20)), uint64(rng.Intn(50))
+		}
+		txs[i] = itemset.Tx{Items: itemset.ItemsOf(&r), Flows: flows, Packets: packets}
+	}
+	return itemset.FromTxs(txs)
+}
+
+// assertIdentical requires two canonical mining results to be
+// byte-identical: same length, same order, same itemsets, same supports.
+func assertIdentical(t *testing.T, label string, want, got []itemset.Frequent) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d itemsets", label, len(want), len(got))
+	}
+	for i := range want {
+		if !want[i].Items.Equal(got[i].Items) || want[i].Support != got[i].Support {
+			t.Fatalf("%s: row %d differs: %v vs %v", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestCrossMinerProperty pins every registered miner to identical
+// canonical output — both the full frequent set and the maximal
+// reduction, in both support dimensions, across MaxLen bounds — on 120
+// random weighted datasets.
+func TestCrossMinerProperty(t *testing.T) {
+	names := miner.Names()
+	if len(names) < 2 {
+		t.Fatalf("need at least two registered miners, have %v", names)
+	}
+	miners := make([]miner.Miner, len(names))
+	for i, n := range names {
+		m, err := miner.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		miners[i] = m
+	}
+
+	const datasets = 120
+	for seed := uint64(1); seed <= datasets; seed++ {
+		rng := stats.NewRNG(seed * 7919)
+		ds := randomWeightedDataset(seed, 5+rng.Intn(120))
+		byPackets := seed%2 == 0
+		minSup := uint64(1 + rng.Intn(40))
+		if byPackets {
+			minSup *= 25
+		}
+		maxLen := rng.Intn(flow.NumFeatures + 1) // 0 = unbounded
+		opts := miner.Options{MinSupport: minSup, ByPackets: byPackets, MaxLen: maxLen}
+		label := fmt.Sprintf("seed=%d opts=%+v", seed, opts)
+
+		ref, err := miners[0].Mine(t.Context(), ds, opts)
+		if err != nil {
+			t.Fatalf("%s: %s: %v", names[0], label, err)
+		}
+		refMax, err := miners[0].MineMaximal(t.Context(), ds, opts)
+		if err != nil {
+			t.Fatalf("%s: %s: %v", names[0], label, err)
+		}
+		// Oracle check: supports in the reference result match a full
+		// dataset scan.
+		for _, fr := range refMax {
+			if got := ds.Support(fr.Items, byPackets); got != fr.Support {
+				t.Fatalf("%s: %s: support(%v) = %d, oracle %d", names[0], label, fr.Items, fr.Support, got)
+			}
+		}
+		for i := 1; i < len(miners); i++ {
+			got, err := miners[i].Mine(t.Context(), ds, opts)
+			if err != nil {
+				t.Fatalf("%s: %s: %v", names[i], label, err)
+			}
+			assertIdentical(t, fmt.Sprintf("%s vs %s Mine (%s)", names[0], names[i], label), ref, got)
+			gotMax, err := miners[i].MineMaximal(t.Context(), ds, opts)
+			if err != nil {
+				t.Fatalf("%s: %s: %v", names[i], label, err)
+			}
+			assertIdentical(t, fmt.Sprintf("%s vs %s MineMaximal (%s)", names[0], names[i], label), refMax, gotMax)
+		}
+	}
+}
+
+// TestCrossMinerCancellation pins every miner to prompt ctx.Err()
+// propagation.
+func TestCrossMinerCancellation(t *testing.T) {
+	ds := randomWeightedDataset(99, 400)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range miner.Names() {
+		m, err := miner.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.MineMaximal(ctx, ds, miner.Options{MinSupport: 1}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: got %v, want context.Canceled", name, err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package nfstore
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/nffilter"
+)
+
+// seedIterStore writes a few bins of records and flushes.
+func seedIterStore(t *testing.T) (*Store, flow.Interval) {
+	t.Helper()
+	s := newTestStore(t)
+	base := uint32(1_000_200)
+	for bin := 0; bin < 3; bin++ {
+		for i := 0; i < 40; i++ {
+			r := testRecord(base+uint32(bin)*300+uint32(i), byte(i%7), uint16(80+bin), uint64(i+1))
+			if err := s.Add(&r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return s, flow.Interval{Start: base, End: base + 3*300}
+}
+
+func TestIterMatchesRecords(t *testing.T) {
+	s, iv := seedIterStore(t)
+	for _, expr := range []string{"", "src ip 10.0.0.1", "dst port 81"} {
+		var f *nffilter.Filter
+		if expr != "" {
+			var err error
+			f, err = nffilter.Parse(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := s.Records(t.Context(), iv, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []flow.Record
+		for r, err := range s.Iter(t.Context(), iv, f) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, *r) // the yielded record is reused; copy
+		}
+		if len(got) != len(want) {
+			t.Fatalf("filter %q: Iter yielded %d records, Records %d", expr, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("filter %q: record %d differs: %v vs %v", expr, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIterEarlyBreak(t *testing.T) {
+	s, iv := seedIterStore(t)
+	n := 0
+	for _, err := range s.Iter(t.Context(), iv, nil) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == 5 {
+			break
+		}
+	}
+	if n != 5 {
+		t.Fatalf("broke at %d records, want 5", n)
+	}
+	// The store stays usable after an early break.
+	if _, err := s.Records(t.Context(), iv, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterCancelled(t *testing.T) {
+	s, iv := seedIterStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sawErr := false
+	for r, err := range s.Iter(ctx, iv, nil) {
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("got %v, want context.Canceled", err)
+			}
+			if r != nil {
+				t.Fatal("terminal iteration must yield a nil record")
+			}
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("cancelled Iter must yield the context error")
+	}
+}

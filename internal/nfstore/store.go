@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"iter"
 	"os"
 	"path/filepath"
 	"sort"
@@ -319,6 +320,27 @@ func (s *Store) Query(ctx context.Context, iv flow.Interval, filter *nffilter.Fi
 		return err
 	}
 	return nil
+}
+
+// Iter returns a range-over-func iterator over the matching records of an
+// interval — the streaming counterpart of Records for callers (like the
+// extraction engine's dataset builder) that aggregate incrementally and
+// never need the materialized slice. The yielded *flow.Record is reused
+// between iterations, per the Query contract; the terminal iteration
+// yields (nil, err) if the underlying scan failed or ctx was cancelled.
+// Breaking out of the loop stops the scan early.
+func (s *Store) Iter(ctx context.Context, iv flow.Interval, filter *nffilter.Filter) iter.Seq2[*flow.Record, error] {
+	return func(yield func(*flow.Record, error) bool) {
+		err := s.Query(ctx, iv, filter, func(r *flow.Record) error {
+			if !yield(r, nil) {
+				return ErrStopIteration
+			}
+			return nil
+		})
+		if err != nil {
+			yield(nil, err)
+		}
+	}
 }
 
 // Records collects matching records into a slice. Convenience wrapper over

@@ -73,6 +73,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/flow"
+	"repro/internal/miner"
 	"repro/internal/nffilter"
 	"repro/internal/nfstore"
 
@@ -122,6 +123,26 @@ func RegisterDetector(name string, factory DetectorFactory) error {
 // DetectorNames lists the registered detectors, sorted by name.
 func DetectorNames() []string { return detector.Names() }
 
+// Miner is the pluggable frequent-itemset-mining contract of the
+// extraction engine. The built-ins ("apriori", "fpgrowth") are
+// pre-registered and produce identical canonical results; external
+// miners plug in via RegisterMiner and are selectable through
+// WithMiner, ExtractionOptions.Miner and the -miner CLI flags.
+type Miner = miner.Miner
+
+// MinerFactory builds a miner instance for the registry.
+type MinerFactory = miner.Factory
+
+// RegisterMiner adds a named miner factory to the registry, making it
+// usable through WithMiner and visible in MinerNames. Registering an
+// already-taken name is an error.
+func RegisterMiner(name string, factory MinerFactory) error {
+	return miner.Register(name, factory)
+}
+
+// MinerNames lists the registered miners, sorted by name.
+func MinerNames() []string { return miner.Names() }
+
 // Option configures one System call. Options not meaningful for a call
 // are ignored.
 type Option func(*callOptions)
@@ -129,6 +150,7 @@ type Option func(*callOptions)
 // callOptions is the resolved per-call configuration.
 type callOptions struct {
 	extraction       *ExtractionOptions
+	miner            string
 	detectorCfg      any
 	concurrency      int
 	queryParallelism int
@@ -141,6 +163,16 @@ type callOptions struct {
 // for one Extract/ExtractAlarm/ExtractAll call.
 func WithExtractionOptions(opts ExtractionOptions) Option {
 	return func(o *callOptions) { o.extraction = &opts }
+}
+
+// WithMiner selects the frequent-itemset miner (a name from MinerNames:
+// "apriori", "fpgrowth", or an externally registered one) for one
+// Extract/ExtractAlarm/ExtractAll call. It composes with
+// WithExtractionOptions — the miner name wins over the options' Miner
+// field. An unknown name fails the call with an error listing the
+// registered miners.
+func WithMiner(name string) Option {
+	return func(o *callOptions) { o.miner = name }
 }
 
 // WithDetectorConfig passes a detector-specific configuration value
@@ -192,6 +224,7 @@ type System struct {
 	store  *nfstore.Store
 	alarms *alarmdb.DB
 	ex     *core.Extractor
+	exOpts core.Options // the system's base extraction options
 }
 
 // Create initializes a new system with a fresh flow store in
@@ -240,7 +273,7 @@ func assemble(store *nfstore.Store, cfg Config, options []Option) (*System, erro
 		store.Close()
 		return nil, err
 	}
-	return &System{store: store, alarms: db, ex: ex}, nil
+	return &System{store: store, alarms: db, ex: ex, exOpts: opts}, nil
 }
 
 // Store exposes the underlying flow store for ingest and ad-hoc queries.
@@ -317,12 +350,20 @@ func (s *System) Alarm(id string) (AlarmEntry, error) { return s.alarms.Get(id) 
 var ErrNoUsefulItemsets = errors.New("rootcause: extraction produced no itemsets")
 
 // extractor returns the engine for one call: the system default, or a
-// fresh one when WithExtractionOptions overrides the configuration.
+// fresh one when WithExtractionOptions or WithMiner override the
+// configuration.
 func (s *System) extractor(o *callOptions) (*core.Extractor, error) {
-	if o.extraction == nil {
+	if o.extraction == nil && o.miner == "" {
 		return s.ex, nil
 	}
-	return core.New(s.store, *o.extraction)
+	opts := s.exOpts
+	if o.extraction != nil {
+		opts = *o.extraction
+	}
+	if o.miner != "" {
+		opts.Miner = o.miner
+	}
+	return core.New(s.store, opts)
 }
 
 // extractFn returns the extraction function for one call (the test seam
