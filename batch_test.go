@@ -39,10 +39,11 @@ func (d *fakeDetector) Detect(ctx context.Context, _ *nfstore.Store, span flow.I
 	return out, nil
 }
 
-// newEmptySystem builds a system over an empty store.
-func newEmptySystem(t *testing.T) *rootcause.System {
+// newEmptySystem builds a system over an empty store, passing opts
+// through to Create (job-manager sizing, query parallelism, ...).
+func newEmptySystem(t *testing.T, opts ...rootcause.Option) *rootcause.System {
 	t.Helper()
-	sys, err := rootcause.Create(rootcause.Config{StoreDir: filepath.Join(t.TempDir(), "flows")})
+	sys, err := rootcause.Create(rootcause.Config{StoreDir: filepath.Join(t.TempDir(), "flows")}, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

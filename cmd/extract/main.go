@@ -39,6 +39,8 @@ func main() {
 		noPre     = flag.Bool("no-prefilter", false, "disable the meta-data pre-filter")
 		flowOnly  = flag.Bool("flow-only", false, "classic Apriori: flow support only (no packet pass)")
 		showFlows = flag.Int("show-flows", 0, "print up to N raw flows of the top itemset")
+		async     = flag.Bool("async", false, "run through the job manager with live progress on stderr")
+		wait      = flag.Bool("wait", true, "with -async: wait for the job (false: submit, print status, exit)")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), `usage: extract -store DIR (-id ALARM | -from UNIX -to UNIX [-meta ITEMS]) [flags]
@@ -54,9 +56,15 @@ srcIP, dstIP, srcPort, dstPort, proto.
 fpgrowth, plus any externally registered name. All miners produce
 identical itemsets; they differ only in speed per dataset shape.
 
+-async routes the extraction through the system's job manager (the
+same path rcad's /api/v1/jobs serves) and prints sampled progress —
+phase, tuning round, streamed flows — to stderr while mining runs;
+-wait=false just submits, prints the job status and exits.
+
 Examples:
   extract -store /tmp/flows -alarmdb /tmp/flows/alarms.json -id 1
   extract -store /tmp/flows -id 1 -miner fpgrowth
+  extract -store /tmp/flows -id 1 -async
   extract -store /tmp/flows -from 1300000800 -to 1300001100 \
           -meta "srcIP=10.191.64.165,dstPort=80"
 
@@ -92,14 +100,14 @@ Flags:
 	if *flowOnly {
 		opts.PacketCoverageMin = 0
 	}
-	if err := run(*storeDir, *dbPath, *alarmID, uint32(*from), uint32(*to), *meta, opts, *showFlows); err != nil {
+	if err := run(*storeDir, *dbPath, *alarmID, uint32(*from), uint32(*to), *meta, opts, *showFlows, *async, *wait); err != nil {
 		fmt.Fprintln(os.Stderr, "extract:", err)
 		os.Exit(1)
 	}
 }
 
 func run(storeDir, dbPath, alarmID string, from, to uint32, metaExpr string,
-	opts rootcause.ExtractionOptions, showFlows int) error {
+	opts rootcause.ExtractionOptions, showFlows int, async, wait bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	sys, err := rootcause.Open(rootcause.Config{
@@ -112,6 +120,11 @@ func run(storeDir, dbPath, alarmID string, from, to uint32, metaExpr string,
 
 	var res *rootcause.Result
 	switch {
+	case alarmID != "" && async:
+		res, err = runJob(ctx, sys, alarmID, wait)
+		if err != nil || res == nil {
+			return err
+		}
 	case alarmID != "":
 		res, err = sys.Extract(ctx, alarmID)
 	case from != 0 && to != 0:
@@ -124,7 +137,16 @@ func run(storeDir, dbPath, alarmID string, from, to uint32, metaExpr string,
 			Interval: flow.Interval{Start: from, End: to},
 			Meta:     metaItems,
 		}
-		res, err = sys.ExtractAlarm(ctx, &alarm)
+		if async {
+			// An ad-hoc alarm is filed first — jobs run against stored
+			// alarms so the result stays fetchable by ID.
+			res, err = runJob(ctx, sys, sys.FileAlarm(alarm), wait)
+			if err != nil || res == nil {
+				return err
+			}
+		} else {
+			res, err = sys.ExtractAlarm(ctx, &alarm)
+		}
 	default:
 		return fmt.Errorf("need -id, or -from and -to")
 	}
@@ -155,6 +177,45 @@ func run(storeDir, dbPath, alarmID string, from, to uint32, metaExpr string,
 		}
 	}
 	return nil
+}
+
+// runJob submits one extraction to the in-process job manager and, when
+// wait is set, follows its progress to completion. With wait=false it
+// prints the submitted job's status and returns a nil result (the
+// process exit cancels the job — submission without waiting is for
+// demonstrating the API surface; a long-lived rcad serves it for real).
+func runJob(ctx context.Context, sys *rootcause.System, alarmID string, wait bool) (*rootcause.Result, error) {
+	jobID, err := sys.Submit(rootcause.JobRequest{AlarmID: alarmID},
+		rootcause.WithProgress(func(p rootcause.ExtractionProgress) {
+			fmt.Fprintf(os.Stderr, "progress: phase=%s", p.Phase)
+			if p.TuningRound > 0 {
+				fmt.Fprintf(os.Stderr, " round=%d", p.TuningRound)
+			}
+			if p.CandidateFlows > 0 {
+				fmt.Fprintf(os.Stderr, " flows=%d", p.CandidateFlows)
+			}
+			if p.Itemsets > 0 {
+				fmt.Fprintf(os.Stderr, " itemsets=%d", p.Itemsets)
+			}
+			fmt.Fprintln(os.Stderr)
+		}))
+	if err != nil {
+		return nil, err
+	}
+	st, err := sys.Job(jobID)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "job %s: %s (kind %s)\n", st.ID, st.State, st.Kind)
+	if !wait {
+		return nil, nil
+	}
+	jr, err := sys.Wait(ctx, jobID)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "job %s: %s\n", jr.Status.ID, jr.Status.State)
+	return jr.Result, nil
 }
 
 // parseMeta parses "srcIP=10.0.0.1,dstPort=80" into meta items.

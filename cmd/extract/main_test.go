@@ -92,9 +92,30 @@ func TestRunEndToEndWithMiner(t *testing.T) {
 		if name != "" {
 			opts.Miner = name
 		}
-		if err := run(storeDir, "", "", from, to, "srcIP=10.9.9.9", opts, 2); err != nil {
+		if err := run(storeDir, "", "", from, to, "srcIP=10.9.9.9", opts, 2, false, true); err != nil {
 			t.Fatalf("miner %q: %v", name, err)
 		}
+	}
+}
+
+// TestRunAsync drives the -async path end to end: the ad-hoc alarm is
+// filed, submitted as a job, waited on, and the Table-1 output printed
+// exactly like the synchronous path.
+func TestRunAsync(t *testing.T) {
+	storeDir, from, to := newExtractStore(t)
+	opts := rootcause.DefaultExtractionOptions()
+	if err := run(storeDir, "", "", from, to, "srcIP=10.9.9.9", opts, 0, true, true); err != nil {
+		t.Fatalf("async run: %v", err)
+	}
+}
+
+// TestRunAsyncNoWait submits without waiting: no error, no result (the
+// job is canceled by system close on exit).
+func TestRunAsyncNoWait(t *testing.T) {
+	storeDir, from, to := newExtractStore(t)
+	opts := rootcause.DefaultExtractionOptions()
+	if err := run(storeDir, "", "", from, to, "", opts, 0, true, false); err != nil {
+		t.Fatalf("async no-wait run: %v", err)
 	}
 }
 
@@ -104,7 +125,7 @@ func TestRunUnknownMinerRejected(t *testing.T) {
 	storeDir, from, to := newExtractStore(t)
 	opts := rootcause.DefaultExtractionOptions()
 	opts.Miner = "frobnicator"
-	if err := run(storeDir, "", "", from, to, "", opts, 0); err == nil {
+	if err := run(storeDir, "", "", from, to, "", opts, 0, false, true); err == nil {
 		t.Fatal("unknown miner must be rejected")
 	}
 }

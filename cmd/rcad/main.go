@@ -7,9 +7,23 @@
 // Usage:
 //
 //	rcad -store /tmp/flows -alarmdb /tmp/alarms.json -listen :8642 \
-//	     -query-parallelism 8
+//	     -query-parallelism 8 -job-workers 4 -job-queue 64
 //
-// Endpoints:
+// Versioned job API (the production surface — submit, poll, fetch):
+//
+//	POST   /api/v1/jobs             body: {"alarm_id":"1","miner":"fpgrowth"}
+//	                                  or: {"alarm_ids":["1","2"],"concurrency":4}
+//	GET    /api/v1/jobs             list jobs (queued, running, retained)
+//	GET    /api/v1/jobs/{id}        status + live progress
+//	DELETE /api/v1/jobs/{id}        cancel (queued or running)
+//	GET    /api/v1/jobs/{id}/result final result of a finished job
+//	GET    /api/v1/jobs/{id}/events SSE stream of status/progress events
+//
+// Submissions are admission-controlled: a full job queue answers 429
+// (with Retry-After) instead of stacking blocked connections.
+//
+// Legacy synchronous endpoints (thin wrappers over the same job
+// manager — submit + wait, one code path for both surfaces):
 //
 //	GET  /api/health
 //	GET  /api/detectors
@@ -22,12 +36,13 @@
 //	POST /api/alarms/{id}/verdict   body: {"validated":true,"note":"..."}
 //	GET  /api/flows?from=UNIX&to=UNIX&filter=EXPR&limit=N
 //
-// Every handler runs under its request's context, so a disconnecting
-// client aborts the store scan or extraction it was waiting for.
-// /api/extract-batch streams NDJSON: one result object per line, in
-// completion order. The server drains in-flight requests on SIGINT or
-// SIGTERM via http.Server.Shutdown and always closes the system so the
-// flow store flushes and the alarm database persists.
+// Every handler runs under its request's context: a disconnecting
+// client aborts the store scan it was waiting for, and the legacy
+// wrappers cancel their job on disconnect. /api/extract-batch streams
+// NDJSON: one result object per line, in completion order. The server
+// drains in-flight requests on SIGINT or SIGTERM via
+// http.Server.Shutdown and always closes the system so jobs wind down,
+// the flow store flushes and the alarm database persists.
 package main
 
 import (
@@ -44,6 +59,8 @@ import (
 	"os/signal"
 	"slices"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -60,16 +77,37 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain timeout")
 		queryPar = flag.Int("query-parallelism", 0,
 			"concurrent segment scans per store query (0 = min(GOMAXPROCS, 8), 1 = serial)")
+		jobWorkers = flag.Int("job-workers", 0,
+			"concurrent extraction jobs (0 = GOMAXPROCS)")
+		jobQueue = flag.Int("job-queue", 0,
+			"submitted jobs that may wait beyond the running ones before 429 (0 = 64)")
+		resultTTL = flag.Duration("result-ttl", 0,
+			"how long finished job results stay fetchable (0 = 15m)")
+		zmCache = flag.Int("zonemap-cache", 0,
+			"decoded zone-map sidecars cached in memory, LRU beyond (0 = 4096)")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), `usage: rcad -store DIR [flags]
 
 Serve the HTTP JSON backend of the paper's operator GUI: listing
 alarms, running detection and extraction, drilling down to raw flows
-with nfdump-style filters, and recording verdicts.
+with nfdump-style filters, and recording verdicts. Extractions run as
+asynchronous jobs on a bounded worker pool; the legacy synchronous
+endpoints wrap the same job manager.
 
-Endpoints:
-  GET  /api/health                (includes query_stats scan counters)
+Job API (versioned):
+  POST   /api/v1/jobs             {"alarm_id":"1","miner":"fpgrowth"}
+                                  or {"alarm_ids":["1","2"],"concurrency":4}
+                                  202 on admit, 429 + Retry-After when the
+                                  queue is full
+  GET    /api/v1/jobs             list jobs (queued, running, retained)
+  GET    /api/v1/jobs/{id}        status + live progress
+  DELETE /api/v1/jobs/{id}        cancel (queued or running)
+  GET    /api/v1/jobs/{id}/result final result (409 while unfinished)
+  GET    /api/v1/jobs/{id}/events SSE stream of status/progress events
+
+Legacy endpoints (synchronous wrappers over the job manager):
+  GET  /api/health                (query_stats, job counts, event streams)
   GET  /api/detectors
   GET  /api/miners
   POST /api/detect                {"detector":"netreflex","from":U,"to":U}
@@ -94,7 +132,11 @@ Flags:
 		os.Exit(2)
 	}
 	sys, err := rootcause.Open(rootcause.Config{StoreDir: *storeDir, AlarmDBPath: *dbPath},
-		rootcause.WithQueryParallelism(*queryPar))
+		rootcause.WithQueryParallelism(*queryPar),
+		rootcause.WithJobWorkers(*jobWorkers),
+		rootcause.WithJobQueueDepth(*jobQueue),
+		rootcause.WithResultTTL(*resultTTL),
+		rootcause.WithZoneMapCacheSize(*zmCache))
 	if err != nil {
 		log.Fatal("rcad: ", err)
 	}
@@ -125,10 +167,16 @@ func run(sys *rootcause.System, listen string, drain time.Duration) error {
 		BaseContext: func(net.Listener) context.Context { return baseCtx },
 	}
 
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("rcad: serving on %s", listen)
-		errCh <- srv.ListenAndServe()
+		// The resolved address matters when -listen used port 0 (tests
+		// and scripts parse this line to find the server).
+		log.Printf("rcad: serving on %s", ln.Addr())
+		errCh <- srv.Serve(ln)
 	}()
 
 	select {
@@ -139,7 +187,7 @@ func run(sys *rootcause.System, listen string, drain time.Duration) error {
 	log.Printf("rcad: shutting down (drain %s)", drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	err := srv.Shutdown(shutdownCtx)
+	err = srv.Shutdown(shutdownCtx)
 	if err != nil {
 		// Drain window expired: cancel the stragglers' contexts and force
 		// the remaining connections closed.
@@ -158,11 +206,22 @@ func run(sys *rootcause.System, listen string, drain time.Duration) error {
 // server holds the handler state.
 type server struct {
 	sys *rootcause.System
+	// sseStreams counts open /api/v1/jobs/{id}/events connections
+	// (surfaced in /api/health; tests use it to observe disconnects).
+	sseStreams atomic.Int64
 }
 
 // routes builds the HTTP mux.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
+	// Versioned job API.
+	mux.HandleFunc("POST /api/v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleJobEvents)
+	// Legacy surface (extraction endpoints wrap the job manager).
 	mux.HandleFunc("GET /api/health", s.handleHealth)
 	mux.HandleFunc("GET /api/detectors", s.handleDetectors)
 	mux.HandleFunc("GET /api/miners", s.handleMiners)
@@ -220,11 +279,17 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	jobsByState := map[rootcause.JobState]int{}
+	for _, j := range s.sys.Jobs() {
+		jobsByState[j.State]++
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"store_span":  span.String(),
-		"has_data":    ok,
-		"query_stats": s.sys.QueryStats(),
+		"status":        "ok",
+		"store_span":    span.String(),
+		"has_data":      ok,
+		"query_stats":   s.sys.QueryStats(),
+		"jobs":          jobsByState,
+		"event_streams": s.sseStreams.Load(),
 	})
 }
 
@@ -339,6 +404,18 @@ func toExtractResponse(id string, res *rootcause.Result) extractResponse {
 	return resp
 }
 
+// submitError maps a Submit failure to an HTTP status: a full queue is
+// 429 (with Retry-After, the admission-control contract), anything else
+// is the caller's mistake.
+func submitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, rootcause.ErrJobQueueFull) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
 func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	// The body is optional (legacy clients POST nothing); when present it
@@ -355,8 +432,23 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.sys.Extract(r.Context(), id, opts...)
+	// The synchronous endpoint is a thin wrapper over the job manager:
+	// submit + wait, the exact code path of POST /api/v1/jobs. The job
+	// is transient — this handler is its only consumer, so the result
+	// must not sit in retention after the response. A disconnecting
+	// client cancels the job it was waiting for.
+	jobID, err := s.sys.Submit(rootcause.JobRequest{AlarmID: id},
+		append(opts, rootcause.WithTransientJob())...)
 	if err != nil {
+		submitError(w, err)
+		return
+	}
+	res, err := s.sys.Wait(r.Context(), jobID)
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.sys.CancelJob(jobID)
+			return
+		}
 		status := http.StatusBadRequest
 		if errors.Is(err, alarmdb.ErrNotFound) {
 			status = http.StatusNotFound
@@ -364,14 +456,90 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toExtractResponse(id, res))
+	writeJSON(w, http.StatusOK, toExtractResponse(id, res.Result))
 }
 
-// batchLine is one NDJSON line of /api/extract-batch.
+// batchLine is one NDJSON line of /api/extract-batch and one entry of a
+// batch job's /api/v1 result payload.
 type batchLine struct {
 	AlarmID string           `json:"alarm_id"`
 	Error   string           `json:"error,omitempty"`
 	Result  *extractResponse `json:"result,omitempty"`
+}
+
+// toBatchLine converts one per-alarm outcome for the wire.
+func toBatchLine(res rootcause.ExtractResult) batchLine {
+	line := batchLine{AlarmID: res.AlarmID}
+	if res.Err != nil {
+		line.Error = res.Err.Error()
+	} else {
+		resp := toExtractResponse(res.AlarmID, res.Result)
+		line.Result = &resp
+	}
+	return line
+}
+
+// streamWriteTimeout bounds one streamed write (an NDJSON batch line or
+// an SSE event) to the client. A stalled client — connected but not
+// reading — must never pin a goroutine behind TCP backpressure: for the
+// NDJSON sink that goroutine is a shared job-worker slot, for SSE it is
+// the handler plus its subscription. The deadline turns the stall into
+// a write error and the stream tears down.
+const streamWriteTimeout = 30 * time.Second
+
+// ndjsonSink streams batch results as NDJSON lines from the job's
+// worker goroutine. close() fences late writes: once the handler
+// returns (client disconnect) the worker must not touch the
+// ResponseWriter again. onDead (set once after submit) is invoked when
+// a write fails so the handler's job stops doing unobservable work.
+type ndjsonSink struct {
+	mu     sync.Mutex
+	closed bool
+	dead   bool // a write failed; skip the rest
+	enc    *json.Encoder
+	rc     *http.ResponseController
+	onDead func()
+}
+
+func (n *ndjsonSink) write(res rootcause.ExtractResult) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.dead {
+		return
+	}
+	// Per-line deadline: a client that stops reading makes Encode fail
+	// instead of blocking the shared worker behind TCP backpressure.
+	_ = n.rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+	if err := n.enc.Encode(toBatchLine(res)); err != nil {
+		log.Printf("rcad: encode batch line: %v", err)
+		n.dead = true
+		if n.onDead != nil {
+			n.onDead()
+		}
+		return
+	}
+	_ = n.rc.Flush()
+}
+
+// setOnDead installs the dead-client callback (after the job ID is
+// known).
+func (n *ndjsonSink) setOnDead(fn func()) {
+	n.mu.Lock()
+	n.onDead = fn
+	dead := n.dead
+	n.mu.Unlock()
+	if dead {
+		fn()
+	}
+}
+
+func (n *ndjsonSink) close() {
+	n.mu.Lock()
+	n.closed = true
+	// Clear the per-line deadline so a kept-alive connection is not
+	// poisoned for its next request.
+	_ = n.rc.SetWriteDeadline(time.Time{})
+	n.mu.Unlock()
 }
 
 func (s *server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
@@ -396,28 +564,205 @@ func (s *server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 	if body.Concurrency > 0 {
 		opts = append(opts, rootcause.WithConcurrency(body.Concurrency))
 	}
-	// The explicit cancel releases the extraction pool if we stop
-	// consuming early (e.g. the client disconnected mid-stream and a
-	// write failed) — ExtractAll winds down on context cancellation.
-	ctx, cancel := context.WithCancel(r.Context())
-	defer cancel()
+	// The synchronous NDJSON endpoint wraps a batch job: results stream
+	// through a WithBatchResults sink as each alarm completes, while the
+	// handler just waits for the job (canceling it when the client
+	// disconnects mid-stream or stalls past the write deadline).
+	sink := &ndjsonSink{enc: json.NewEncoder(w), rc: http.NewResponseController(w)}
+	defer sink.close()
+	// The content type must be set before the job's first line commits
+	// the response; a Submit rejection below overrides it via writeError
+	// (headers are uncommitted until the first write).
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	for res := range s.sys.ExtractAll(ctx, body.AlarmIDs, opts...) {
-		line := batchLine{AlarmID: res.AlarmID}
-		if res.Err != nil {
-			line.Error = res.Err.Error()
-		} else {
-			resp := toExtractResponse(res.AlarmID, res.Result)
-			line.Result = &resp
+	jobID, err := s.sys.Submit(rootcause.JobRequest{AlarmIDs: body.AlarmIDs},
+		append(opts, rootcause.WithBatchResults(sink.write), rootcause.WithTransientJob())...)
+	if err != nil {
+		w.Header().Del("Content-Type")
+		submitError(w, err)
+		return
+	}
+	// A dead client (stalled write) makes further extraction work
+	// unobservable — cancel the job rather than finish it for no one.
+	sink.setOnDead(func() { s.sys.CancelJob(jobID) })
+	if _, err := s.sys.Wait(r.Context(), jobID); err != nil {
+		if r.Context().Err() != nil {
+			s.sys.CancelJob(jobID)
 		}
-		if err := enc.Encode(line); err != nil {
-			log.Printf("rcad: encode batch line: %v", err)
+		return
+	}
+}
+
+// handleJobSubmit admits an extraction job: {"alarm_id":"1"} for a
+// single extraction or {"alarm_ids":[...]} for a batch, both with
+// optional "miner" and batches with optional "concurrency". 202 with
+// the queued job's status on admit; 429 + Retry-After when the queue is
+// full.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		AlarmID     string   `json:"alarm_id"`
+		AlarmIDs    []string `json:"alarm_ids"`
+		Miner       string   `json:"miner"`
+		Concurrency int      `json:"concurrency"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
+		return
+	}
+	opts, err := minerOption(body.Miner)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if body.Concurrency > 0 {
+		opts = append(opts, rootcause.WithConcurrency(body.Concurrency))
+	}
+	jobID, err := s.sys.Submit(rootcause.JobRequest{
+		AlarmID:  body.AlarmID,
+		AlarmIDs: body.AlarmIDs,
+	}, opts...)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	st, err := s.sys.Job(jobID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": st})
+}
+
+func (s *server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sys.Jobs()})
+}
+
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sys.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": st})
+}
+
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sys.CancelJob(id); err != nil {
+		status := http.StatusNotFound
+		if errors.Is(err, rootcause.ErrJobDone) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	st, err := s.sys.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": st})
+}
+
+// handleJobResult returns a finished job's outcome: {"job": status,
+// "result": ...} for a done single extraction, {"job": status,
+// "results": [...]} for a done batch, and just {"job": status} (the
+// error is inside) for failed or canceled jobs. An unfinished job is a
+// 409 so pollers can distinguish "not yet" from "gone" (404).
+func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	jr, err := s.sys.JobResult(id)
+	switch {
+	case errors.Is(err, rootcause.ErrJobNotFound):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, rootcause.ErrJobNotDone):
+		st, serr := s.sys.Job(id)
+		if serr != nil {
+			writeError(w, http.StatusNotFound, serr)
 			return
 		}
-		if flusher != nil {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": "job not finished", "job": st,
+		})
+		return
+	case err != nil:
+		// Failed or canceled: the final status carries the error string.
+		st, serr := s.sys.Job(id)
+		if serr != nil {
+			writeError(w, http.StatusNotFound, serr)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"job": st})
+		return
+	}
+	out := map[string]any{"job": jr.Status}
+	switch {
+	case jr.Result != nil:
+		out["result"] = toExtractResponse(alarmIDOf(jr), jr.Result)
+	case jr.Batch != nil:
+		lines := make([]batchLine, len(jr.Batch))
+		for i, res := range jr.Batch {
+			lines[i] = toBatchLine(res)
+		}
+		out["results"] = lines
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// alarmIDOf recovers the alarm ID of a single-extraction job result.
+func alarmIDOf(jr *rootcause.JobResult) string {
+	if jr.Result != nil {
+		return jr.Result.Alarm.ID
+	}
+	return ""
+}
+
+// handleJobEvents streams a job's status as server-sent events: one
+// "progress" event per state or progress change and a final "done"
+// event with the terminal status, then the stream closes. A client
+// disconnect detaches the subscription immediately.
+func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	ch, cancel, err := s.sys.WatchJob(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer cancel()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	s.sseStreams.Add(1)
+	defer s.sseStreams.Add(-1)
+	rc := http.NewResponseController(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case st, open := <-ch:
+			if !open {
+				return
+			}
+			name := "progress"
+			if st.State.Terminal() {
+				name = "done"
+			}
+			raw, err := json.Marshal(st)
+			if err != nil {
+				return
+			}
+			// Per-event deadline: a client that stops reading must tear
+			// the stream (and its subscription) down, not pin this
+			// goroutine behind TCP backpressure forever.
+			_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, raw); err != nil {
+				return
+			}
 			flusher.Flush()
 		}
 	}

@@ -1,14 +1,17 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"slices"
 	"strings"
 	"testing"
+	"time"
 
 	rootcause "repro"
 	"repro/internal/detector"
@@ -20,12 +23,19 @@ import (
 // newTestServer builds a system with a scan scenario and one filed alarm,
 // wrapped in an httptest server.
 func newTestServer(t *testing.T) (*httptest.Server, string) {
+	srv, _, id := newTestServerFull(t)
+	return srv, id
+}
+
+// newTestServerFull is newTestServer exposing the handler state (for
+// the SSE stream counter) and accepting system construction options.
+func newTestServerFull(t *testing.T, opts ...rootcause.Option) (*httptest.Server, *server, string) {
 	t.Helper()
 	dir := t.TempDir()
 	sys, err := rootcause.Create(rootcause.Config{
 		StoreDir:    filepath.Join(dir, "flows"),
 		AlarmDBPath: filepath.Join(dir, "alarms.json"),
-	})
+	}, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,9 +62,10 @@ func newTestServer(t *testing.T) (*httptest.Server, string) {
 			{Feature: flow.FeatSrcIP, Value: uint32(scanner)},
 		},
 	})
-	srv := httptest.NewServer((&server{sys: sys}).routes())
+	hs := &server{sys: sys}
+	srv := httptest.NewServer(hs.routes())
 	t.Cleanup(srv.Close)
-	return srv, id
+	return srv, hs, id
 }
 
 func getJSON(t *testing.T, url string, into any) int {
@@ -440,5 +451,450 @@ func TestExtractBatchMinerSelection(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown miner status %d, want 400", resp.StatusCode)
+	}
+}
+
+// --- /api/v1 job surface ---
+
+// jobEnvelope is the {"job": ...} wrapper of the v1 endpoints.
+type jobEnvelope struct {
+	Job struct {
+		ID       string `json:"id"`
+		Kind     string `json:"kind"`
+		State    string `json:"state"`
+		Error    string `json:"error"`
+		Progress struct {
+			Phase     string `json:"phase"`
+			Completed int    `json:"completed"`
+			Total     int    `json:"total"`
+		} `json:"progress"`
+	} `json:"job"`
+}
+
+// postJSON POSTs a JSON payload and decodes the response into out.
+func postJSON(t *testing.T, url, payload string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// batchPayload builds a batch submission body repeating one alarm ID n
+// times with concurrency 1 (a deliberately slow job for cancel/saturation
+// tests).
+func batchPayload(t *testing.T, id string, n int) string {
+	t.Helper()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = id
+	}
+	raw, err := json.Marshal(map[string]any{"alarm_ids": ids, "concurrency": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// pollJobState polls GET /api/v1/jobs/{id} until the job reaches state.
+func pollJobState(t *testing.T, base, jobID, want string) jobEnvelope {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var env jobEnvelope
+	for time.Now().Before(deadline) {
+		if code := getJSON(t, base+"/api/v1/jobs/"+jobID, &env); code != http.StatusOK {
+			t.Fatalf("poll status %d", code)
+		}
+		if env.Job.State == want {
+			return env
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s (state %s)", jobID, want, env.Job.State)
+	return env
+}
+
+// TestV1SubmitPollResult drives the canonical async flow: submit → 202,
+// poll status, fetch the result.
+func TestV1SubmitPollResult(t *testing.T) {
+	srv, id := newTestServer(t)
+	var env jobEnvelope
+	code := postJSON(t, srv.URL+"/api/v1/jobs", `{"alarm_id":"`+id+`"}`, &env)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", code)
+	}
+	if env.Job.ID == "" || env.Job.Kind != "extract" {
+		t.Fatalf("submit envelope = %+v", env)
+	}
+	pollJobState(t, srv.URL, env.Job.ID, "done")
+
+	var res struct {
+		Job    map[string]any  `json:"job"`
+		Result extractResponse `json:"result"`
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/jobs/"+env.Job.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	if len(res.Result.Itemsets) == 0 {
+		t.Fatal("no itemsets in job result")
+	}
+	if res.Result.AlarmID != id {
+		t.Fatalf("result alarm_id = %q, want %q", res.Result.AlarmID, id)
+	}
+	// The alarm went through the same workflow as a synchronous extract.
+	var entry map[string]any
+	getJSON(t, srv.URL+"/api/alarms/"+id, &entry)
+	if entry["status"] != "analyzed" {
+		t.Fatalf("post-job alarm status = %v", entry["status"])
+	}
+}
+
+// TestV1LegacyEquivalence: the legacy synchronous endpoint (wrapped
+// over the job manager) returns exactly the payload the v1 job result
+// carries — one code path, one answer.
+func TestV1LegacyEquivalence(t *testing.T) {
+	srv, id := newTestServer(t)
+	// Legacy payload.
+	resp, err := http.Post(srv.URL+"/api/alarms/"+id+"/extract", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy extractResponse
+	if err := json.NewDecoder(resp.Body).Decode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(legacy.Itemsets) == 0 {
+		t.Fatal("legacy extract returned no itemsets")
+	}
+	// v1 job result.
+	var env jobEnvelope
+	postJSON(t, srv.URL+"/api/v1/jobs", `{"alarm_id":"`+id+`"}`, &env)
+	pollJobState(t, srv.URL, env.Job.ID, "done")
+	var v1 struct {
+		Result extractResponse `json:"result"`
+	}
+	getJSON(t, srv.URL+"/api/v1/jobs/"+env.Job.ID+"/result", &v1)
+
+	lraw, _ := json.Marshal(legacy)
+	vraw, _ := json.Marshal(v1.Result)
+	if string(lraw) != string(vraw) {
+		t.Fatalf("legacy and v1 payloads diverge:\nlegacy %s\n    v1 %s", lraw, vraw)
+	}
+}
+
+// TestV1BatchJob submits a batch, waits, and fetches the per-alarm
+// results array (with a not-found entry for the bogus ID).
+func TestV1BatchJob(t *testing.T) {
+	srv, id := newTestServer(t)
+	var env jobEnvelope
+	code := postJSON(t, srv.URL+"/api/v1/jobs",
+		`{"alarm_ids":["`+id+`","404"],"concurrency":2}`, &env)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if env.Job.Kind != "extract-batch" {
+		t.Fatalf("kind = %q", env.Job.Kind)
+	}
+	final := pollJobState(t, srv.URL, env.Job.ID, "done")
+	if final.Job.Progress.Completed != 2 || final.Job.Progress.Total != 2 {
+		t.Fatalf("final progress = %+v", final.Job.Progress)
+	}
+	var res struct {
+		Results []batchLine `json:"results"`
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/jobs/"+env.Job.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	if len(res.Results) != 2 {
+		t.Fatalf("%d results", len(res.Results))
+	}
+	if res.Results[0].AlarmID != id || res.Results[0].Result == nil {
+		t.Fatalf("first result = %+v", res.Results[0])
+	}
+	if res.Results[1].AlarmID != "404" || res.Results[1].Error == "" {
+		t.Fatalf("second result = %+v", res.Results[1])
+	}
+}
+
+// TestV1ResultNotReady: fetching the result of an unfinished job is a
+// 409, an unknown job a 404.
+func TestV1ResultNotReady(t *testing.T) {
+	srv, _, id := newTestServerFull(t, rootcause.WithJobWorkers(1))
+	// Park the worker with a long batch so the probe job stays queued.
+	var parked jobEnvelope
+	postJSON(t, srv.URL+"/api/v1/jobs", batchPayload(t, id, 64), &parked)
+	var env jobEnvelope
+	code := postJSON(t, srv.URL+"/api/v1/jobs", `{"alarm_id":"`+id+`"}`, &env)
+	if code != http.StatusAccepted {
+		t.Fatalf("probe submit status %d", code)
+	}
+	var conflict map[string]any
+	if code := getJSON(t, srv.URL+"/api/v1/jobs/"+env.Job.ID+"/result", &conflict); code != http.StatusConflict {
+		t.Fatalf("unfinished result status %d, want 409", code)
+	}
+	var errBody map[string]any
+	if code := getJSON(t, srv.URL+"/api/v1/jobs/9999/result", &errBody); code != http.StatusNotFound {
+		t.Fatalf("unknown result status %d, want 404", code)
+	}
+	// Cancel the parked batch so cleanup is fast.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/api/v1/jobs/"+parked.Job.ID, nil)
+	http.DefaultClient.Do(req)
+}
+
+// TestV1CancelJob cancels a running batch and observes the canceled
+// terminal state.
+func TestV1CancelJob(t *testing.T) {
+	srv, _, id := newTestServerFull(t, rootcause.WithJobWorkers(1))
+	var env jobEnvelope
+	code := postJSON(t, srv.URL+"/api/v1/jobs", batchPayload(t, id, 200), &env)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/api/v1/jobs/"+env.Job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+	final := pollJobState(t, srv.URL, env.Job.ID, "canceled")
+	if final.Job.Error == "" {
+		t.Fatalf("canceled job carries no error: %+v", final.Job)
+	}
+	// Canceling again is a 409 (already terminal).
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("re-cancel status %d, want 409", resp.StatusCode)
+	}
+	// Unknown job: 404.
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/api/v1/jobs/9999", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown cancel status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestV1QueueFull429: a saturated manager answers 429 with Retry-After
+// instead of blocking the submission.
+func TestV1QueueFull429(t *testing.T) {
+	srv, _, id := newTestServerFull(t,
+		rootcause.WithJobWorkers(1), rootcause.WithJobQueueDepth(1))
+	payload := batchPayload(t, id, 200)
+	var first, second jobEnvelope
+	if code := postJSON(t, srv.URL+"/api/v1/jobs", payload, &first); code != http.StatusAccepted {
+		t.Fatalf("first submit status %d", code)
+	}
+	// The worker may or may not have picked the first job up yet; admit
+	// until the queue is provably full, then require the rejection.
+	deadline := time.Now().Add(10 * time.Second)
+	sawFull := false
+	var cancelIDs []string
+	cancelIDs = append(cancelIDs, first.Job.ID)
+	for time.Now().Before(deadline) {
+		resp, err := http.Post(srv.URL+"/api/v1/jobs", "application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			resp.Body.Close()
+			sawFull = true
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&second); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		cancelIDs = append(cancelIDs, second.Job.ID)
+	}
+	if !sawFull {
+		t.Fatal("queue never rejected a submission")
+	}
+	for _, jid := range cancelIDs {
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/api/v1/jobs/"+jid, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+// TestV1JobListAndSubmitValidation: the listing carries submitted jobs;
+// malformed submissions are 400s.
+func TestV1JobListAndSubmitValidation(t *testing.T) {
+	srv, id := newTestServer(t)
+	var env jobEnvelope
+	postJSON(t, srv.URL+"/api/v1/jobs", `{"alarm_id":"`+id+`"}`, &env)
+	pollJobState(t, srv.URL, env.Job.ID, "done")
+	var listing struct {
+		Jobs []map[string]any `json:"jobs"`
+	}
+	if code := getJSON(t, srv.URL+"/api/v1/jobs", &listing); code != http.StatusOK {
+		t.Fatalf("list status %d", code)
+	}
+	if len(listing.Jobs) == 0 {
+		t.Fatal("job listing is empty")
+	}
+	for _, payload := range []string{
+		`{}`,                                     // neither alarm_id nor alarm_ids
+		`{broken`,                                // bad JSON
+		`{"alarm_id":"1","miner":"frobnicator"}`, // unknown miner
+	} {
+		var errBody map[string]any
+		if code := postJSON(t, srv.URL+"/api/v1/jobs", payload, &errBody); code != http.StatusBadRequest {
+			t.Fatalf("payload %q: status %d, want 400", payload, code)
+		}
+	}
+	// Unknown job status fetch is a 404.
+	var errBody map[string]any
+	if code := getJSON(t, srv.URL+"/api/v1/jobs/9999", &errBody); code != http.StatusNotFound {
+		t.Fatalf("unknown job status %d, want 404", code)
+	}
+}
+
+// readSSE consumes one SSE stream, returning the event names in order.
+func readSSE(t *testing.T, body io.Reader) []string {
+	t.Helper()
+	var events []string
+	scanner := bufio.NewScanner(body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.HasPrefix(line, "event: ") {
+			events = append(events, strings.TrimPrefix(line, "event: "))
+		}
+	}
+	return events
+}
+
+// TestV1EventsStream: the SSE stream delivers progress events and a
+// final "done" event, then ends.
+func TestV1EventsStream(t *testing.T) {
+	srv, id := newTestServer(t)
+	var env jobEnvelope
+	postJSON(t, srv.URL+"/api/v1/jobs", `{"alarm_id":"`+id+`"}`, &env)
+	resp, err := http.Get(srv.URL + "/api/v1/jobs/" + env.Job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type %q", ct)
+	}
+	events := readSSE(t, resp.Body)
+	if len(events) == 0 {
+		t.Fatal("no events received")
+	}
+	if events[len(events)-1] != "done" {
+		t.Fatalf("last event %q, want done (events %v)", events[len(events)-1], events)
+	}
+	// Subscribing to the finished job yields its terminal snapshot.
+	resp2, err := http.Get(srv.URL + "/api/v1/jobs/" + env.Job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	events2 := readSSE(t, resp2.Body)
+	if len(events2) != 1 || events2[0] != "done" {
+		t.Fatalf("terminal-job events = %v, want [done]", events2)
+	}
+	// Unknown job: 404.
+	resp3, err := http.Get(srv.URL + "/api/v1/jobs/9999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown events status %d, want 404", resp3.StatusCode)
+	}
+}
+
+// TestV1EventsClientDisconnect: dropping the SSE connection detaches
+// the stream (observable through the server's stream counter) without
+// disturbing the job.
+func TestV1EventsClientDisconnect(t *testing.T) {
+	srv, hs, id := newTestServerFull(t, rootcause.WithJobWorkers(1))
+	var env jobEnvelope
+	postJSON(t, srv.URL+"/api/v1/jobs", batchPayload(t, id, 200), &env)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		srv.URL+"/api/v1/jobs/"+env.Job.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the first event so the stream is live, then hang up.
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := hs.sseStreams.Load(); n != 1 {
+		t.Fatalf("active streams = %d, want 1", n)
+	}
+	cancel()
+	resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for hs.sseStreams.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SSE handler never terminated after client disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The job is unaffected: still known, and cancellable through the
+	// API as usual.
+	var probe jobEnvelope
+	if code := getJSON(t, srv.URL+"/api/v1/jobs/"+env.Job.ID, &probe); code != http.StatusOK {
+		t.Fatalf("job vanished after subscriber disconnect: %d", code)
+	}
+	delReq, _ := http.NewRequest(http.MethodDelete, srv.URL+"/api/v1/jobs/"+env.Job.ID, nil)
+	if resp, err := http.DefaultClient.Do(delReq); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// TestHealthReportsJobs: /api/health counts jobs by state and open
+// event streams.
+func TestHealthReportsJobs(t *testing.T) {
+	srv, id := newTestServer(t)
+	var env jobEnvelope
+	postJSON(t, srv.URL+"/api/v1/jobs", `{"alarm_id":"`+id+`"}`, &env)
+	pollJobState(t, srv.URL, env.Job.ID, "done")
+	var body struct {
+		Jobs         map[string]int `json:"jobs"`
+		EventStreams int            `json:"event_streams"`
+	}
+	if code := getJSON(t, srv.URL+"/api/health", &body); code != http.StatusOK {
+		t.Fatalf("health status %d", code)
+	}
+	if body.Jobs["done"] == 0 {
+		t.Fatalf("health jobs = %v, want a done job", body.Jobs)
 	}
 }

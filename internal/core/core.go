@@ -51,6 +51,42 @@ import (
 	_ "repro/internal/fpgrowth"
 )
 
+// Extraction phases reported through the Progress seam, in the order
+// the engine enters them.
+const (
+	PhaseCandidates  = "candidates"   // streaming candidate flows into the dataset
+	PhaseMineFlows   = "mine-flows"   // self-tuning mining, flow-support dimension
+	PhaseMinePackets = "mine-packets" // self-tuning mining, packet-support dimension
+	PhaseSupports    = "supports"     // batch dual-support pass over merged itemsets
+	PhaseBaseline    = "baseline"     // baseline-bin scan + false-positive filter
+	PhaseRank        = "rank"         // scoring, sorting and cutting the final list
+)
+
+// Progress is one sampled progress observation of a running extraction.
+type Progress struct {
+	// Phase is the engine stage (one of the Phase* constants).
+	Phase string
+	// TuningRound is the 1-based self-tuning round within a mining phase
+	// (0 outside mining).
+	TuningRound int
+	// CandidateFlows counts flows aggregated so far in a streaming phase.
+	CandidateFlows uint64
+	// Itemsets counts maximal itemsets mined so far in a mining phase.
+	Itemsets int
+}
+
+// ProgressFunc observes extraction progress. It is called from the
+// extraction goroutine, sampled (every progressStride records in
+// streaming phases, once per tuning round while mining) so the hot
+// loops pay nothing beyond a nil check — implementations should still
+// return quickly.
+type ProgressFunc func(Progress)
+
+// progressStride is how many streamed records pass between progress
+// samples: big enough that the callback is noise even on million-flow
+// candidate sets, small enough for live feedback.
+const progressStride = 8192
+
 // Options configures the extraction engine. Zero values of the numeric
 // fields inherit the corresponding defaults and explicitly invalid values
 // are rejected by New; note that the boolean switches (UsePrefilter,
@@ -110,6 +146,10 @@ type Options struct {
 	BaselineRatio  float64
 	// MaxLen bounds itemset length (0 = up to all five features).
 	MaxLen int
+	// Progress, when non-nil, receives sampled progress observations
+	// (phase transitions, tuning rounds, streamed-flow counts). It is
+	// exempt from validation; nil disables reporting entirely.
+	Progress ProgressFunc
 }
 
 // DefaultOptions returns the configuration used by the paper-reproduction
@@ -309,6 +349,7 @@ var ErrNoCandidates = errors.New("core: alarm interval contains no flows")
 func (e *Extractor) Extract(ctx context.Context, alarm *detector.Alarm) (*Result, error) {
 	res := &Result{Alarm: *alarm}
 
+	e.report(Progress{Phase: PhaseCandidates})
 	ds, prefiltered, err := e.candidates(ctx, alarm)
 	if err != nil {
 		return nil, err
@@ -348,6 +389,7 @@ func (e *Extractor) Extract(ctx context.Context, alarm *detector.Alarm) (*Result
 
 	// One sharded parallel pass computes both supports of every merged
 	// itemset over the candidate dataset.
+	e.report(Progress{Phase: PhaseSupports, Itemsets: len(order)})
 	for i, sup := range ds.SupportAll(reportSets(order), 0) {
 		order[i].FlowSupport = sup.Flows
 		order[i].PacketSupport = sup.Packets
@@ -356,6 +398,7 @@ func (e *Extractor) Extract(ctx context.Context, alarm *detector.Alarm) (*Result
 	// Baseline false-positive suppression.
 	list := order
 	if e.opts.BaselineFilter {
+		e.report(Progress{Phase: PhaseBaseline, Itemsets: len(list)})
 		kept, dropped, err := e.baselineFilter(ctx, alarm.Interval, ds, list)
 		if err != nil {
 			return nil, err
@@ -367,6 +410,7 @@ func (e *Extractor) Extract(ctx context.Context, alarm *detector.Alarm) (*Result
 	// Rank by share score, cut at MaxItemsets. share guards the zero
 	// totals a packet-less candidate set would otherwise turn into NaN
 	// scores that poison the sort.
+	e.report(Progress{Phase: PhaseRank, Itemsets: len(list)})
 	for _, r := range list {
 		fShare := share(r.FlowSupport, res.CandidateFlows)
 		pShare := share(r.PacketSupport, res.CandidatePackets)
@@ -398,7 +442,7 @@ func (e *Extractor) candidates(ctx context.Context, alarm *detector.Alarm) (ds *
 	b := itemset.NewBuilder()
 	if e.opts.UsePrefilter {
 		if mf := alarm.MetaFilter(); mf != nil {
-			if err := e.fill(ctx, b, alarm.Interval, mf); err != nil {
+			if err := e.fill(ctx, b, alarm.Interval, mf, PhaseCandidates); err != nil {
 				return nil, false, err
 			}
 			prefiltered = true
@@ -406,7 +450,7 @@ func (e *Extractor) candidates(ctx context.Context, alarm *detector.Alarm) (ds *
 	}
 	if b.Flows() < uint64(e.opts.MinCandidates) {
 		b.Reset()
-		if err := e.fill(ctx, b, alarm.Interval, nil); err != nil {
+		if err := e.fill(ctx, b, alarm.Interval, nil, PhaseCandidates); err != nil {
 			return nil, false, err
 		}
 		prefiltered = false
@@ -414,15 +458,28 @@ func (e *Extractor) candidates(ctx context.Context, alarm *detector.Alarm) (ds *
 	return b.Dataset(), prefiltered, nil
 }
 
-// fill streams one interval scan into the builder.
-func (e *Extractor) fill(ctx context.Context, b *itemset.Builder, iv flow.Interval, f *nffilter.Filter) error {
+// fill streams one interval scan into the builder, sampling progress
+// every progressStride records (the nil check is all the hot loop pays
+// when no observer is attached).
+func (e *Extractor) fill(ctx context.Context, b *itemset.Builder, iv flow.Interval, f *nffilter.Filter, phase string) error {
+	n := 0
 	for r, err := range e.store.Iter(ctx, iv, f) {
 		if err != nil {
 			return err
 		}
 		b.Add(r)
+		if n++; e.opts.Progress != nil && n%progressStride == 0 {
+			e.opts.Progress(Progress{Phase: phase, CandidateFlows: b.Flows()})
+		}
 	}
 	return nil
+}
+
+// report emits one progress observation when an observer is attached.
+func (e *Extractor) report(p Progress) {
+	if e.opts.Progress != nil {
+		e.opts.Progress(p)
+	}
 }
 
 // share returns part/total, or 0 for an empty total (never NaN).
@@ -442,6 +499,10 @@ func (e *Extractor) mineTuned(ctx context.Context, ds *itemset.Dataset, byPacket
 	if byPackets {
 		dim = nfstore.ByPackets
 	}
+	phase := PhaseMineFlows
+	if byPackets {
+		phase = PhaseMinePackets
+	}
 	tuning := DimensionTuning{Dimension: dim}
 	minSup := uint64(float64(total) * e.opts.InitialSupportFraction)
 	if minSup < e.opts.SupportFloor {
@@ -452,6 +513,7 @@ func (e *Extractor) mineTuned(ctx context.Context, ds *itemset.Dataset, byPacket
 	var result []itemset.Frequent
 	for round := 0; round < e.opts.MaxTuningRounds; round++ {
 		tuning.Rounds = round + 1
+		e.report(Progress{Phase: phase, TuningRound: round + 1, Itemsets: len(result)})
 		var err error
 		result, err = e.m.MineMaximal(ctx, ds, miner.Options{
 			MinSupport: minSup,
@@ -529,7 +591,7 @@ func (e *Extractor) baselineFilter(ctx context.Context, iv flow.Interval, ds *it
 	}
 	baseIv := flow.Interval{Start: iv.Start - span, End: iv.Start}
 	b := itemset.NewBuilder()
-	if err := e.fill(ctx, b, baseIv, nil); err != nil {
+	if err := e.fill(ctx, b, baseIv, nil, PhaseBaseline); err != nil {
 		return nil, 0, err
 	}
 	baseDs := b.Dataset()

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/flow"
+	"repro/internal/gen"
+)
+
+// TestExtractReportsProgress: a full extraction with an observer
+// attached reports the phases in engine order, the mining phases carry
+// tuning rounds, and the reported values match the final result.
+func TestExtractReportsProgress(t *testing.T) {
+	scanner := flow.MustParseIP("10.191.64.165")
+	victim := flow.MustParseIP("198.18.137.129")
+	s := gen.Scenario{
+		Background: gen.Background{NumPoPs: 2, FlowsPerBin: 300},
+		Bins:       4, StartTime: coreBase, Seed: 5,
+		Placements: []gen.Placement{
+			{Anomaly: gen.PortScan{Scanner: scanner, Victim: victim, SrcPort: 55548, Ports: 2000, FlowsPerPort: 1, Router: 1}, Bin: 2},
+		},
+	}
+	store, truth := buildScenario(t, s)
+
+	var samples []Progress
+	opts := DefaultOptions()
+	opts.Progress = func(p Progress) { samples = append(samples, p) }
+	ex := MustNew(store, opts)
+	alarm := &detector.Alarm{
+		Detector: "netreflex", Kind: detector.KindPortScan,
+		Interval: truth.Entries[0].Interval,
+		Meta: []detector.MetaItem{
+			{Feature: flow.FeatSrcIP, Value: uint32(scanner)},
+		},
+	}
+	res, err := ex.Extract(t.Context(), alarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no progress reported")
+	}
+
+	// Phase order: candidates strictly before mining, mining before the
+	// supports pass, supports before rank.
+	first := map[string]int{}
+	for i, p := range samples {
+		if _, ok := first[p.Phase]; !ok {
+			first[p.Phase] = i
+		}
+	}
+	for _, want := range []string{PhaseCandidates, PhaseMineFlows, PhaseSupports, PhaseRank} {
+		if _, ok := first[want]; !ok {
+			t.Fatalf("phase %q never reported (phases %v)", want, first)
+		}
+	}
+	if !(first[PhaseCandidates] < first[PhaseMineFlows] &&
+		first[PhaseMineFlows] < first[PhaseSupports] &&
+		first[PhaseSupports] < first[PhaseRank]) {
+		t.Fatalf("phases out of order: %v", first)
+	}
+
+	// Mining samples carry 1-based tuning rounds matching the recorded
+	// trajectory.
+	maxRound := 0
+	for _, p := range samples {
+		if p.Phase == PhaseMineFlows && p.TuningRound > maxRound {
+			maxRound = p.TuningRound
+		}
+	}
+	if maxRound != res.Tuning[0].Rounds {
+		t.Fatalf("max reported round = %d, tuning recorded %d", maxRound, res.Tuning[0].Rounds)
+	}
+}
+
+// TestProgressNilIsFree: extraction without an observer behaves exactly
+// as before (the seam is a nil check, not a behavior change).
+func TestProgressNilIsFree(t *testing.T) {
+	store, truth := buildScenario(t, gen.Scenario{
+		Background: gen.Background{NumPoPs: 1, FlowsPerBin: 200},
+		Bins:       2, StartTime: coreBase, Seed: 9,
+	})
+	ex := MustNew(store, DefaultOptions())
+	alarm := &detector.Alarm{Detector: "t", Interval: truth.Span}
+	if _, err := ex.Extract(t.Context(), alarm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFillSamplesEveryStride: a streaming phase over more than
+// progressStride records reports intermediate candidate counts.
+func TestFillSamplesEveryStride(t *testing.T) {
+	store, truth := buildScenario(t, gen.Scenario{
+		Background: gen.Background{NumPoPs: 2, FlowsPerBin: progressStride + 2048},
+		Bins:       2, StartTime: coreBase, Seed: 11,
+	})
+	var streamed []uint64
+	opts := DefaultOptions()
+	opts.UsePrefilter = false
+	opts.BaselineFilter = false
+	opts.Progress = func(p Progress) {
+		if p.Phase == PhaseCandidates && p.CandidateFlows > 0 {
+			streamed = append(streamed, p.CandidateFlows)
+		}
+	}
+	ex := MustNew(store, opts)
+	alarm := &detector.Alarm{Detector: "t", Interval: truth.Span}
+	if _, err := ex.Extract(t.Context(), alarm); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) == 0 {
+		t.Fatalf("no sampled candidate counts over a %d-record scan", 2*(progressStride+2048))
+	}
+	for i := 1; i < len(streamed); i++ {
+		if streamed[i] < streamed[i-1] {
+			t.Fatalf("candidate counts must be non-decreasing: %v", streamed)
+		}
+	}
+}

@@ -101,7 +101,9 @@ type BinSummary struct {
 // Bins whose sidecar proves the filter matches every record (or, for a
 // filter that cannot match, no record) are answered from the sidecar's
 // totals without opening the segment — the aggregation pushdown that makes
-// detector warm-up sweeps over long archives nearly free.
+// detector warm-up sweeps over long archives nearly free. The store
+// directory is listed once for the whole call — per-bin planning reuses
+// the listing, so a warm-up sweep over B bins costs one ReadDir, not B.
 func (s *Store) Summaries(ctx context.Context, iv flow.Interval, filter *nffilter.Filter) ([]BinSummary, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -112,15 +114,19 @@ func (s *Store) Summaries(ctx context.Context, iv flow.Interval, filter *nffilte
 	}
 	var out []BinSummary
 	for _, bin := range bins {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seg := flow.Interval{Start: bin, End: bin + s.binSeconds}
 		if !seg.Overlaps(iv) {
 			continue
 		}
-		// Count carries the whole fast path: sidecar pushdown when the
-		// filter provably covers the bin, zone-map pruning (a gap-free
-		// zero summary, for free) when it provably cannot match, a scan
-		// otherwise.
-		flows, packets, bytes, err := s.Count(ctx, seg, filter)
+		// countPlan carries the whole fast path: sidecar pushdown when
+		// the filter provably covers the bin, zone-map pruning (a
+		// gap-free zero summary, for free) when it provably cannot
+		// match, a scan otherwise.
+		one := [1]uint32{bin}
+		flows, packets, bytes, err := s.countPlan(ctx, s.planSegmentsIn(one[:], seg, filter), seg, filter)
 		if err != nil {
 			return nil, err
 		}

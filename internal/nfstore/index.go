@@ -2,6 +2,7 @@ package nfstore
 
 import (
 	"bufio"
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -24,28 +25,102 @@ func (s *Store) idxPath(binStart uint32) string {
 	return filepath.Join(s.dir, segPrefix+strconv.FormatUint(uint64(binStart), 10)+idxSuffix)
 }
 
+// defaultZoneMapCacheEntries bounds the zmCache when no explicit cap is
+// configured: 4096 decoded sidecars ≈ 9 MB — two weeks of 5-minute bins
+// stay hot, while a year-long sweep in a long-lived process no longer
+// pins one zone map per segment forever.
+const defaultZoneMapCacheEntries = 4096
+
 // zmCache memoizes decoded sidecars by bin so repeated queries validate
-// them with one stat() instead of re-reading the file.
+// them with one stat() instead of re-reading the file. It is a bounded
+// LRU: a sweep over more segments than the cap recycles the least
+// recently touched entries (evicted ones simply re-read their ~2 KB
+// sidecar file on the next query).
 type zmCache struct {
-	mu sync.RWMutex
-	m  map[uint32]*zoneMap
+	mu  sync.Mutex
+	cap int // 0 = defaultZoneMapCacheEntries
+	m   map[uint32]*list.Element
+	ll  *list.List // front = most recently used
 }
 
-// get returns the cached zone map for a bin, if any.
+// zmEntry is one cache slot.
+type zmEntry struct {
+	bin uint32
+	z   *zoneMap
+}
+
+// setCap bounds the cache to n entries (n <= 0 restores the default)
+// and evicts down to the new cap immediately.
+func (c *zmCache) setCap(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		n = 0
+	}
+	c.cap = n
+	c.evictLocked()
+}
+
+// limit resolves the effective entry cap. Caller holds c.mu.
+func (c *zmCache) limit() int {
+	if c.cap > 0 {
+		return c.cap
+	}
+	return defaultZoneMapCacheEntries
+}
+
+// get returns the cached zone map for a bin, if any, refreshing its LRU
+// position.
 func (c *zmCache) get(bin uint32) *zoneMap {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.m[bin]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[bin]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*zmEntry).z
 }
 
-// put replaces the cached zone map for a bin.
+// put replaces the cached zone map for a bin, evicting the least
+// recently used entries beyond the cap.
 func (c *zmCache) put(bin uint32, z *zoneMap) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.m == nil {
-		c.m = map[uint32]*zoneMap{}
+		c.m = map[uint32]*list.Element{}
+		c.ll = list.New()
 	}
-	c.m[bin] = z
-	c.mu.Unlock()
+	if el, ok := c.m[bin]; ok {
+		el.Value.(*zmEntry).z = z
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[bin] = c.ll.PushFront(&zmEntry{bin: bin, z: z})
+	c.evictLocked()
+}
+
+// len reports the current entry count.
+func (c *zmCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// evictLocked drops LRU entries until the cache fits its cap. Caller
+// holds c.mu.
+func (c *zmCache) evictLocked() {
+	if c.ll == nil {
+		return
+	}
+	for limit := c.limit(); len(c.m) > limit; {
+		back := c.ll.Back()
+		if back == nil {
+			return
+		}
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*zmEntry).bin)
+	}
 }
 
 // loadZoneMap returns a zone map that exactly covers the segment's current
@@ -99,16 +174,28 @@ func (s *Store) writeZoneMap(bin uint32, z *zoneMap) error {
 	return nil
 }
 
-// buildZoneMap scans one segment file from the start and returns its zone
-// map. Used to seed a writer reopening a pre-index segment and by
-// BuildIndexes.
+// buildZoneMap scans one segment file from the start and returns its
+// zone map. Used by BuildIndexes and (prefix-limited, on a background
+// goroutine) to seed a writer reopening a pre-index segment.
 func (s *Store) buildZoneMap(ctx context.Context, bin uint32) (*zoneMap, error) {
+	return s.buildZoneMapPrefix(ctx, bin, -1)
+}
+
+// buildZoneMapPrefix is buildZoneMap over the first limit bytes of the
+// segment file (limit < 0 scans everything). The async seed scan passes
+// the file size observed at open time, so it never reads bytes a
+// concurrent append may still be writing.
+func (s *Store) buildZoneMapPrefix(ctx context.Context, bin uint32, limit int64) (*zoneMap, error) {
 	f, err := os.Open(s.segPath(bin))
 	if err != nil {
 		return nil, fmt.Errorf("nfstore: open segment %d: %w", bin, err)
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
+	var src io.Reader = f
+	if limit >= 0 {
+		src = io.LimitReader(f, limit)
+	}
+	br := bufio.NewReaderSize(src, 1<<16)
 	hdr := make([]byte, segHeaderSize)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return nil, fmt.Errorf("nfstore: segment %d header: %w", bin, err)

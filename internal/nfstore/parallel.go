@@ -109,6 +109,12 @@ func (s *Store) queryParallelism() int {
 	return min(runtime.GOMAXPROCS(0), maxAutoParallelism)
 }
 
+// SetZoneMapCacheSize bounds the in-memory cache of decoded zone-map
+// sidecars to n entries (LRU eviction, ~2.2 KB each; n <= 0 restores
+// the default of 4096). Evicted entries only cost a sidecar re-read on
+// their next query — correctness is unaffected.
+func (s *Store) SetZoneMapCacheSize(n int) { s.zmc.setCap(n) }
+
 // SetPruning toggles zone-map segment pruning and lazy sidecar builds
 // (enabled by default). Disabling it forces every overlapping segment to
 // be scanned — the pre-index behavior, kept reachable for benchmarks and
@@ -131,6 +137,13 @@ func (s *Store) planSegments(iv flow.Interval, filter *nffilter.Filter) ([]segPl
 	if err != nil {
 		return nil, err
 	}
+	return s.planSegmentsIn(bins, iv, filter), nil
+}
+
+// planSegmentsIn is planSegments over an already-listed bin set, so
+// callers iterating many spans (Summaries) list the store directory
+// once instead of once per span.
+func (s *Store) planSegmentsIn(bins []uint32, iv flow.Interval, filter *nffilter.Filter) []segPlan {
 	pruning := !s.pruneOff.Load()
 	var root nffilter.Node
 	if filter != nil {
@@ -157,7 +170,7 @@ func (s *Store) planSegments(iv flow.Interval, filter *nffilter.Filter) ([]segPl
 		}
 		plan = append(plan, p)
 	}
-	return plan, nil
+	return plan
 }
 
 // execPlan scans the planned segments and streams matches to fn in bin

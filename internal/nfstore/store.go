@@ -55,8 +55,26 @@ type Store struct {
 
 	par      atomic.Int32 // query parallelism (0 = auto)
 	pruneOff atomic.Bool  // zone-map pruning disabled
-	zmc      zmCache      // decoded sidecars by bin
+	zmc      zmCache      // decoded sidecars by bin (bounded LRU)
 	stats    storeStats   // scan counters
+
+	// bgCtx cancels background work (async zone-map seed scans) at
+	// Close; seedWG tracks the outstanding goroutines.
+	bgCtx    context.Context
+	bgCancel context.CancelFunc
+	seedWG   sync.WaitGroup
+}
+
+// newStore assembles a Store with its background-work context.
+func newStore(dir string, binSeconds uint32) *Store {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Store{
+		dir:        dir,
+		binSeconds: binSeconds,
+		open:       map[uint32]*segWriter{},
+		bgCtx:      ctx,
+		bgCancel:   cancel,
+	}
 }
 
 // segWriter is an append handle to one segment file.
@@ -64,7 +82,34 @@ type segWriter struct {
 	f   *os.File
 	buf *bufio.Writer
 	n   int      // records written
-	zm  *zoneMap // live zone map (nil when the segment seed scan failed)
+	zm  *zoneMap // live zone map (nil while a seed is pending or after it failed)
+
+	// seed delivers the async prefix scan of a reopened pre-index
+	// segment (nil value = the scan failed or was canceled); delta
+	// accumulates appends made while the seed is pending, to be merged
+	// once it lands. Both are nil when no seed is in flight.
+	seed  chan *zoneMap
+	delta *zoneMap
+}
+
+// resolveSeed folds a completed async seed into the live zone map
+// without ever blocking: if the seed scan is still running the writer
+// simply stays sidecar-less for now (the next flush retries). Caller
+// holds the store's mu.
+func (w *segWriter) resolveSeed() {
+	if w.seed == nil {
+		return
+	}
+	select {
+	case z := <-w.seed:
+		w.seed = nil
+		if z != nil {
+			z.merge(w.delta)
+			w.zm = z
+		}
+		w.delta = nil
+	default:
+	}
 }
 
 // Create initializes a new store in dir (created if missing; must not
@@ -88,7 +133,7 @@ func Create(dir string, binSeconds uint32) (*Store, error) {
 	if err := os.WriteFile(metaPath, raw, 0o644); err != nil {
 		return nil, fmt.Errorf("nfstore: write meta: %w", err)
 	}
-	return &Store{dir: dir, binSeconds: binSeconds, open: map[uint32]*segWriter{}}, nil
+	return newStore(dir, binSeconds), nil
 }
 
 // Open opens an existing store directory.
@@ -104,7 +149,7 @@ func Open(dir string) (*Store, error) {
 	if meta.BinSeconds == 0 {
 		return nil, errors.New("nfstore: meta has zero bin size")
 	}
-	return &Store{dir: dir, binSeconds: meta.BinSeconds, open: map[uint32]*segWriter{}}, nil
+	return newStore(dir, meta.BinSeconds), nil
 }
 
 // BinSeconds returns the store's measurement bin width.
@@ -151,8 +196,13 @@ func (s *Store) Add(r *flow.Record) error {
 		return fmt.Errorf("nfstore: append to bin %d: %w", bin, err)
 	}
 	w.n++
-	if w.zm != nil {
+	switch {
+	case w.zm != nil:
 		w.zm.add(r)
+	case w.delta != nil:
+		// A seed scan is still running: track the new appends separately
+		// and merge once it lands.
+		w.delta.add(r)
 	}
 	return nil
 }
@@ -192,15 +242,32 @@ func (s *Store) openSegment(bin uint32) (*segWriter, error) {
 		return w, nil
 	}
 	// Appending to an existing segment: seed the live zone map from the
-	// sidecar if it is current, else by scanning once. A failed seed only
-	// disables incremental sidecar upkeep for this writer — readers
-	// rebuild lazily and a stale sidecar is ignored by its size check.
+	// sidecar if it is current, else by scanning — asynchronously, so the
+	// first append to a big pre-index archive segment is not an
+	// uncancellable ingest stall under s.mu. While the seed scan runs,
+	// new appends accumulate in a delta map that merges with the scanned
+	// prefix when it lands (at the next flush); the store's Close cancels
+	// a still-running scan. A failed seed only disables incremental
+	// sidecar upkeep for this writer — readers rebuild lazily and a stale
+	// sidecar is ignored by its size check.
 	if z := s.loadZoneMap(bin); z != nil {
 		cp := *z // private copy: the cached one is shared with readers
 		w.zm = &cp
-	} else if z, err := s.buildZoneMap(context.Background(), bin); err == nil {
-		w.zm = z
+		return w, nil
 	}
+	w.seed = make(chan *zoneMap, 1)
+	w.delta = newZoneMap()
+	size := st.Size()
+	bg := s.bgCtx // captured under s.mu: Close re-arms the field
+	s.seedWG.Add(1)
+	go func() {
+		defer s.seedWG.Done()
+		z, err := s.buildZoneMapPrefix(bg, bin, size)
+		if err != nil {
+			z = nil
+		}
+		w.seed <- z
+	}()
 	return w, nil
 }
 
@@ -221,10 +288,13 @@ func (s *Store) Flush() error {
 
 // writeSidecar persists the writer's zone map for a flushed segment. The
 // writer keeps mutating its map on later appends, so a private snapshot
-// goes to disk and cache. Sidecars are accelerators: a write failure is
+// goes to disk and cache. A pending async seed is folded in first (non-
+// blocking; a segment whose seed is still scanning stays sidecar-less
+// until a later flush). Sidecars are accelerators: a write failure is
 // deliberately swallowed (the segment merely stays scan-only until the
 // next flush or a lazy rebuild succeeds).
 func (s *Store) writeSidecar(bin uint32, w *segWriter) {
+	w.resolveSeed()
 	if w.zm == nil {
 		return
 	}
@@ -232,11 +302,22 @@ func (s *Store) writeSidecar(bin uint32, w *segWriter) {
 	_ = s.writeZoneMap(bin, &cp)
 }
 
-// Close flushes and closes all open segments. The store remains usable for
-// queries and further appends (segments reopen on demand).
+// Close flushes and closes all open segments and cancels any background
+// zone-map seed scans. The store remains usable for queries and further
+// appends (segments reopen on demand).
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Cancel background seed scans and wait them out under the lock —
+	// the only seedWG.Add site (openSegment) also runs under s.mu, so
+	// Add can never race the Wait, and the seed goroutines themselves
+	// never take the lock (their results land in buffered channels).
+	// The flush below picks up whichever seeds completed in time.
+	s.bgCancel()
+	s.seedWG.Wait()
+	// Re-arm the background context: the store stays usable after Close
+	// (segments reopen on demand), and so must future seed scans.
+	s.bgCtx, s.bgCancel = context.WithCancel(context.Background())
 	var firstErr error
 	for bin, w := range s.open {
 		if err := w.buf.Flush(); err != nil {
@@ -370,6 +451,14 @@ func (s *Store) Count(ctx context.Context, iv flow.Interval, filter *nffilter.Fi
 	if err != nil {
 		return 0, 0, 0, err
 	}
+	return s.countPlan(ctx, plan, iv, filter)
+}
+
+// countPlan answers a volume count over an already-planned segment set:
+// segments whose sidecar proves full coverage are aggregated without
+// scanning, the remainder goes through execPlan. Shared by Count and
+// Summaries.
+func (s *Store) countPlan(ctx context.Context, plan []segPlan, iv flow.Interval, filter *nffilter.Filter) (flows, packets, bytes uint64, err error) {
 	var root nffilter.Node
 	if filter != nil {
 		root = filter.Root()

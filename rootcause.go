@@ -48,6 +48,24 @@
 //	    ...
 //	}
 //
+// # Extraction jobs
+//
+// Extract holds the caller for the whole self-tuning mining run; the job
+// API decouples the two. Submit enqueues an extraction (or a batch) on
+// the system's job manager — a bounded worker pool with admission
+// control — and returns immediately with a job ID:
+//
+//	id, err := sys.Submit(rootcause.JobRequest{AlarmID: alarmID},
+//	    rootcause.WithProgress(func(p rootcause.ExtractionProgress) { ... }))
+//	res, err := sys.Wait(ctx, id) // or poll sys.Job(id) / fetch sys.JobResult(id)
+//
+// Job, Jobs, CancelJob, WatchJob and JobResult observe and steer the
+// lifecycle (queued → running → done | failed | canceled). A full queue
+// rejects the submission with ErrJobQueueFull instead of blocking;
+// terminal jobs are retained for JobResult until WithResultTTL expires
+// them (or the retention cap evicts the least recently fetched).
+// WithJobWorkers and WithJobQueueDepth size the manager at Create/Open.
+//
 // # Query engine
 //
 // The flow store plans every scan against per-segment zone-map sidecars:
@@ -68,11 +86,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/alarmdb"
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/flow"
+	"repro/internal/jobs"
 	"repro/internal/miner"
 	"repro/internal/nffilter"
 	"repro/internal/nfstore"
@@ -106,6 +126,45 @@ type (
 	ExtractionOptions = core.Options
 	// AlarmEntry is a stored alarm with its operator workflow status.
 	AlarmEntry = alarmdb.Entry
+	// ExtractionProgress is one sampled progress observation from the
+	// extraction engine (phase, tuning round, streamed-flow and mined-
+	// itemset counts). See WithProgress.
+	ExtractionProgress = core.Progress
+	// JobStatus is a point-in-time snapshot of an extraction job.
+	JobStatus = jobs.Status
+	// JobProgress is the job-level progress sample carried by JobStatus.
+	JobProgress = jobs.Progress
+	// JobState is a job lifecycle state.
+	JobState = jobs.State
+)
+
+// Job lifecycle states: queued → running → done | failed | canceled.
+const (
+	JobQueued   = jobs.StateQueued
+	JobRunning  = jobs.StateRunning
+	JobDone     = jobs.StateDone
+	JobFailed   = jobs.StateFailed
+	JobCanceled = jobs.StateCanceled
+)
+
+// Job kinds as reported in JobStatus.Kind.
+const (
+	JobKindExtract      = "extract"
+	JobKindExtractBatch = "extract-batch"
+)
+
+// Job manager sentinels, re-exported so callers (like the HTTP layer)
+// can branch without importing internal packages.
+var (
+	// ErrJobQueueFull rejects a Submit when the admission queue is at
+	// depth — map it to 429.
+	ErrJobQueueFull = jobs.ErrQueueFull
+	// ErrJobNotFound marks an unknown or already-evicted job ID.
+	ErrJobNotFound = jobs.ErrNotFound
+	// ErrJobNotDone marks a JobResult fetch on an unfinished job.
+	ErrJobNotDone = jobs.ErrNotDone
+	// ErrJobDone marks a CancelJob on an already-terminal job.
+	ErrJobDone = jobs.ErrDone
 )
 
 // DefaultExtractionOptions returns the engine defaults used throughout
@@ -154,6 +213,13 @@ type callOptions struct {
 	detectorCfg      any
 	concurrency      int
 	queryParallelism int
+	progress         core.ProgressFunc
+	batchSink        func(ExtractResult)
+	transientJob     bool
+	jobWorkers       int
+	jobQueueDepth    int
+	resultTTL        time.Duration
+	zmCacheEntries   int
 	// extractFn substitutes the extraction engine; a test seam for
 	// exercising ExtractAll's pool without real mining.
 	extractFn func(ctx context.Context, a *Alarm) (*Result, error)
@@ -197,6 +263,64 @@ func WithQueryParallelism(k int) Option {
 	return func(o *callOptions) { o.queryParallelism = k }
 }
 
+// WithZoneMapCacheSize bounds the flow store's in-memory zone-map cache
+// to n decoded sidecars (LRU eviction; 0 keeps the default). It is a
+// construction option — pass it to Create or Open.
+func WithZoneMapCacheSize(n int) Option {
+	return func(o *callOptions) { o.zmCacheEntries = n }
+}
+
+// WithProgress attaches a progress observer to one
+// Extract/ExtractAlarm/Submit call. The engine invokes fn with sampled
+// observations (phase transitions, self-tuning rounds, streamed-flow
+// counts) from the extraction goroutine — return quickly. Calls are
+// never concurrent: batch jobs extract on several workers at once but
+// serialize their observer invocations (the samples interleave across
+// alarms). For jobs the same samples also feed the job's
+// JobStatus.Progress, so fn is only needed for additional in-process
+// observers.
+func WithProgress(fn func(ExtractionProgress)) Option {
+	return func(o *callOptions) { o.progress = fn }
+}
+
+// WithBatchResults attaches a per-alarm result sink to a batch Submit:
+// fn is invoked from the job's worker goroutine as each alarm finishes,
+// in completion order — the streaming seam the NDJSON batch endpoint is
+// built on. The full result slice is still retained for JobResult.
+func WithBatchResults(fn func(ExtractResult)) Option {
+	return func(o *callOptions) { o.batchSink = fn }
+}
+
+// WithTransientJob marks one Submit as consume-on-wait: the job is
+// dropped from the registry as soon as its outcome is read through
+// Wait/JobResult instead of sitting in result retention for the full
+// TTL. Use it when the submitter is the only consumer — the synchronous
+// wrapper endpoints, for example — so finished results are not pinned
+// with nobody left to fetch them. An abandoned transient job still
+// expires through the normal TTL/LRU policy.
+func WithTransientJob() Option {
+	return func(o *callOptions) { o.transientJob = true }
+}
+
+// WithJobWorkers bounds how many jobs the system's job manager runs
+// concurrently (default GOMAXPROCS). Construction option.
+func WithJobWorkers(n int) Option {
+	return func(o *callOptions) { o.jobWorkers = n }
+}
+
+// WithJobQueueDepth bounds how many submitted jobs may wait beyond the
+// running ones before Submit rejects with ErrJobQueueFull (default 64).
+// Construction option.
+func WithJobQueueDepth(n int) Option {
+	return func(o *callOptions) { o.jobQueueDepth = n }
+}
+
+// WithResultTTL bounds how long a finished job stays fetchable through
+// JobResult (default 15 minutes). Construction option.
+func WithResultTTL(d time.Duration) Option {
+	return func(o *callOptions) { o.resultTTL = d }
+}
+
 // resolveOptions folds the options into the call configuration.
 func resolveOptions(opts []Option) callOptions {
 	var o callOptions
@@ -224,7 +348,8 @@ type System struct {
 	store  *nfstore.Store
 	alarms *alarmdb.DB
 	ex     *core.Extractor
-	exOpts core.Options // the system's base extraction options
+	exOpts core.Options  // the system's base extraction options
+	jobs   *jobs.Manager // the async extraction-job manager
 }
 
 // Create initializes a new system with a fresh flow store in
@@ -253,6 +378,9 @@ func assemble(store *nfstore.Store, cfg Config, options []Option) (*System, erro
 	if o.queryParallelism > 0 {
 		store.SetParallelism(o.queryParallelism)
 	}
+	if o.zmCacheEntries > 0 {
+		store.SetZoneMapCacheSize(o.zmCacheEntries)
+	}
 	var db *alarmdb.DB
 	if cfg.AlarmDBPath != "" {
 		var err error
@@ -273,7 +401,12 @@ func assemble(store *nfstore.Store, cfg Config, options []Option) (*System, erro
 		store.Close()
 		return nil, err
 	}
-	return &System{store: store, alarms: db, ex: ex, exOpts: opts}, nil
+	mgr := jobs.New(jobs.Config{
+		Workers:    o.jobWorkers,
+		QueueDepth: o.jobQueueDepth,
+		ResultTTL:  o.resultTTL,
+	})
+	return &System{store: store, alarms: db, ex: ex, exOpts: opts, jobs: mgr}, nil
 }
 
 // Store exposes the underlying flow store for ingest and ad-hoc queries.
@@ -297,8 +430,11 @@ func (s *System) AddFlows(records []Record) error {
 	return s.store.Flush()
 }
 
-// Close flushes and closes the store and persists the alarm database.
+// Close cancels queued and running jobs, waits for the job workers to
+// wind down, then flushes and closes the store and persists the alarm
+// database.
 func (s *System) Close() error {
+	s.jobs.Close()
 	err := s.alarms.Save()
 	if cerr := s.store.Close(); err == nil {
 		err = cerr
@@ -350,10 +486,10 @@ func (s *System) Alarm(id string) (AlarmEntry, error) { return s.alarms.Get(id) 
 var ErrNoUsefulItemsets = errors.New("rootcause: extraction produced no itemsets")
 
 // extractor returns the engine for one call: the system default, or a
-// fresh one when WithExtractionOptions or WithMiner override the
-// configuration.
+// fresh one when WithExtractionOptions, WithMiner or WithProgress
+// override the configuration.
 func (s *System) extractor(o *callOptions) (*core.Extractor, error) {
-	if o.extraction == nil && o.miner == "" {
+	if o.extraction == nil && o.miner == "" && o.progress == nil {
 		return s.ex, nil
 	}
 	opts := s.exOpts
@@ -362,6 +498,9 @@ func (s *System) extractor(o *callOptions) (*core.Extractor, error) {
 	}
 	if o.miner != "" {
 		opts.Miner = o.miner
+	}
+	if o.progress != nil {
+		opts.Progress = o.progress
 	}
 	return core.New(s.store, opts)
 }
@@ -441,6 +580,12 @@ type ExtractResult struct {
 // Extract.
 func (s *System) ExtractAll(ctx context.Context, alarmIDs []string, opts ...Option) <-chan ExtractResult {
 	o := resolveOptions(opts)
+	return s.extractAll(ctx, alarmIDs, &o)
+}
+
+// extractAll is ExtractAll over already-resolved options (shared with
+// the batch job task).
+func (s *System) extractAll(ctx context.Context, alarmIDs []string, o *callOptions) <-chan ExtractResult {
 	workers := o.concurrency
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -450,7 +595,7 @@ func (s *System) ExtractAll(ctx context.Context, alarmIDs []string, opts ...Opti
 	}
 	// Resolve the extraction function once per batch, not per alarm; a
 	// bad WithExtractionOptions value fails every alarm identically.
-	fn, fnErr := s.extractFn(&o)
+	fn, fnErr := s.extractFn(o)
 
 	out := make(chan ExtractResult)
 	jobs := make(chan string)
@@ -493,6 +638,195 @@ func (s *System) ExtractAll(ctx context.Context, alarmIDs []string, opts ...Opti
 		close(out)
 	}()
 	return out
+}
+
+// JobRequest describes one extraction-job submission: exactly one of
+// AlarmID (a single extraction, JobKindExtract) or AlarmIDs (a batch,
+// JobKindExtractBatch) must be set.
+type JobRequest struct {
+	// AlarmID submits a single stored-alarm extraction.
+	AlarmID string
+	// AlarmIDs submits a batch extraction; per-alarm outcomes are
+	// retained in submission order (and optionally streamed through
+	// WithBatchResults).
+	AlarmIDs []string
+}
+
+// JobResult is the outcome of a finished (done) job.
+type JobResult struct {
+	// Status is the job's final status snapshot.
+	Status JobStatus
+	// Result is the extraction outcome of a JobKindExtract job.
+	Result *Result
+	// Batch holds the per-alarm outcomes of a JobKindExtractBatch job,
+	// in submission order.
+	Batch []ExtractResult
+}
+
+// Submit enqueues an extraction job on the system's job manager and
+// returns its ID immediately. The same per-call options as Extract
+// apply (WithMiner, WithExtractionOptions, WithProgress; batches also
+// take WithConcurrency and WithBatchResults) and are validated up
+// front — a bad miner name fails the submission, not the job. A full
+// queue fails with ErrJobQueueFull instead of blocking: callers under
+// admission control back off and retry.
+//
+// The job runs under the manager's lifecycle context, not a caller
+// context — the submitter may disconnect and fetch the result later
+// via Wait or JobResult. CancelJob aborts it.
+func (s *System) Submit(req JobRequest, opts ...Option) (string, error) {
+	o := resolveOptions(opts)
+	single, batch := req.AlarmID != "", len(req.AlarmIDs) > 0
+	if single == batch {
+		return "", errors.New("rootcause: JobRequest needs exactly one of AlarmID or AlarmIDs")
+	}
+	// Fail fast on configuration mistakes (unknown miner, invalid
+	// extraction options) while the caller is still on the line.
+	if o.extractFn == nil {
+		if _, err := s.extractor(&o); err != nil {
+			return "", err
+		}
+	}
+	submit := s.jobs.Submit
+	if o.transientJob {
+		submit = s.jobs.SubmitTransient
+	}
+	if single {
+		return submit(JobKindExtract, s.extractTask(req.AlarmID, o))
+	}
+	return submit(JobKindExtractBatch, s.batchTask(req.AlarmIDs, o))
+}
+
+// extractTask builds the job task for one single-alarm extraction: the
+// engine's sampled progress feeds the job status (and the caller's
+// WithProgress observer, when set).
+func (s *System) extractTask(alarmID string, o callOptions) jobs.Task {
+	return func(ctx context.Context, report func(JobProgress)) (any, error) {
+		ro := o
+		user := o.progress
+		ro.progress = func(p ExtractionProgress) {
+			report(JobProgress{
+				Phase:       p.Phase,
+				TuningRound: p.TuningRound,
+				Candidates:  p.CandidateFlows,
+				Itemsets:    p.Itemsets,
+			})
+			if user != nil {
+				user(p)
+			}
+		}
+		fn, err := s.extractFn(&ro)
+		if err != nil {
+			return nil, err
+		}
+		return s.extractOne(ctx, alarmID, fn)
+	}
+}
+
+// batchTask builds the job task for a batch extraction: it fans out over
+// the ExtractAll pool (WithConcurrency applies within the one job slot),
+// reports completed/total progress, streams each outcome to the
+// WithBatchResults sink, and retains the outcomes in submission order.
+func (s *System) batchTask(alarmIDs []string, o callOptions) jobs.Task {
+	ids := append([]string(nil), alarmIDs...)
+	return func(ctx context.Context, report func(JobProgress)) (any, error) {
+		total := len(ids)
+		report(JobProgress{Phase: "batch", Total: total})
+		if o.progress != nil {
+			// The pool's workers share one extractor, so the engine would
+			// invoke the observer from every worker at once — serialize to
+			// honor WithProgress's single-call-at-a-time contract.
+			var pmu sync.Mutex
+			user := o.progress
+			o.progress = func(p ExtractionProgress) {
+				pmu.Lock()
+				defer pmu.Unlock()
+				user(p)
+			}
+		}
+		// Route completion-order results back to submission-order slots;
+		// duplicate IDs take slots first-come, first-served (their
+		// results are identical anyway — extraction is deterministic).
+		slots := make(map[string][]int, total)
+		for i, id := range ids {
+			slots[id] = append(slots[id], i)
+		}
+		out := make([]ExtractResult, total)
+		done := 0
+		for r := range s.extractAll(ctx, ids, &o) {
+			if idx := slots[r.AlarmID]; len(idx) > 0 {
+				out[idx[0]] = r
+				slots[r.AlarmID] = idx[1:]
+			}
+			if o.batchSink != nil {
+				o.batchSink(r)
+			}
+			done++
+			report(JobProgress{Phase: "batch", Completed: done, Total: total})
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+// Job returns the status snapshot of one job.
+func (s *System) Job(id string) (JobStatus, error) { return s.jobs.Get(id) }
+
+// Jobs lists every known job — queued, running and retained terminal
+// ones — newest submission first.
+func (s *System) Jobs() []JobStatus { return s.jobs.List() }
+
+// CancelJob requests cancellation: a queued job is canceled in place, a
+// running one has its context canceled (the extraction engine aborts at
+// its next cancellation point). Canceling a terminal job is ErrJobDone.
+func (s *System) CancelJob(id string) error { return s.jobs.Cancel(id) }
+
+// Wait blocks until the job finishes (in any terminal state) or ctx is
+// canceled. A done job returns its JobResult; a failed or canceled job
+// returns the underlying error (errors.Is-compatible with domain
+// sentinels like the alarm database's not-found error). The outcome is
+// read from the job record the waiter holds, so it cannot be lost to a
+// concurrent TTL/LRU eviction of the job's ID.
+func (s *System) Wait(ctx context.Context, id string) (*JobResult, error) {
+	val, st, err := s.jobs.WaitResult(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return toJobResult(val, st), nil
+}
+
+// toJobResult shapes a retained task value into the public JobResult.
+func toJobResult(val any, st JobStatus) *JobResult {
+	jr := &JobResult{Status: st}
+	switch v := val.(type) {
+	case *Result:
+		jr.Result = v
+	case []ExtractResult:
+		jr.Batch = v
+	}
+	return jr
+}
+
+// JobResult fetches a finished job's outcome. Unfinished jobs return
+// ErrJobNotDone, unknown (or TTL/LRU-evicted) ones ErrJobNotFound, and
+// failed or canceled jobs their stored error alongside the final status
+// in a nil JobResult.
+func (s *System) JobResult(id string) (*JobResult, error) {
+	val, st, err := s.jobs.Result(id)
+	if err != nil {
+		return nil, err
+	}
+	return toJobResult(val, st), nil
+}
+
+// WatchJob subscribes to a job's status stream: the current snapshot
+// immediately, then one per state or progress change, closed after the
+// terminal one. Always call the returned cancel function. This is the
+// seam the HTTP layer's SSE endpoint streams from.
+func (s *System) WatchJob(id string) (<-chan JobStatus, func(), error) {
+	return s.jobs.Subscribe(id)
 }
 
 // SetVerdict records the operator's validation verdict for an alarm.
