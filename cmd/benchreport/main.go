@@ -1,61 +1,107 @@
 // Command benchreport regenerates every table and statistic of the
-// paper's evaluation and prints paper-vs-measured side by side. This is
-// the human-readable companion of the bench_test.go benchmark suite;
-// EXPERIMENTS.md records a captured run.
+// paper's evaluation, prints paper-vs-measured side by side, and runs
+// the scenario-catalog evaluation matrix whose scores are the repo's
+// quality trajectory (BENCH_eval.json + markdown report, tracked
+// PR-over-PR; see docs/evaluation.md). This is the human-readable
+// companion of the bench_test.go benchmark suite; EXPERIMENTS.md records
+// a captured run.
 //
 // Usage:
 //
-//	benchreport            # all experiments
-//	benchreport -exp e1    # only Table 1
+//	benchreport              # all experiments incl. the eval matrix
+//	benchreport -exp e1      # only Table 1
+//	benchreport -exp eval    # only the scenario x detector x miner matrix
 //
-// Experiments (see DESIGN.md §5): e1 Table 1 itemsets; e2/e3 the GEANT
-// 40-alarm statistics (94% useful, 26-28% additional evidence); e4 the
-// SWITCH 31-anomaly extraction; e5 flow-vs-packet support on UDP floods;
-// e6 the self-tuning ablation.
+// Experiments (see DESIGN.md §6-§7): e1 Table 1 itemsets; e2/e3 the
+// GEANT 40-alarm statistics (94% useful, 26-28% additional evidence); e4
+// the SWITCH 31-anomaly extraction; e5 flow-vs-packet support on UDP
+// floods; e6 the self-tuning ablation; eval the full scenario-catalog
+// ground-truth matrix.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/gen"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment: all|e1|e2|e3|e4|e5|e6")
-		seed = flag.Uint64("seed", 1, "suite seed")
+		exp       = flag.String("exp", "all", "experiment: all|e1|e2|e3|e4|e5|e6|eval")
+		seed      = flag.Uint64("seed", 1, "suite seed")
+		jsonPath  = flag.String("json", "BENCH_eval.json", "eval: machine-readable report path (\"\" = skip)")
+		mdPath    = flag.String("md", "BENCH_eval.md", "eval: markdown report path (\"\" = skip)")
+		scenarios = flag.String("scenarios", "", "eval: comma-separated catalog scenarios (default: whole catalog)")
+		detectors = flag.String("detectors", "", "eval: comma-separated alarm sources: synthesized and/or registered detectors (default: all)")
+		miners    = flag.String("miners", "", "eval: comma-separated miner registry names (default: all)")
+		sync      = flag.Bool("sync", false, "eval: extract via the synchronous API instead of the job manager")
+		quick     = flag.Bool("quick", false, "eval: reduced matrix for CI smoke runs")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), `usage: benchreport [flags]
 
 Regenerate the tables and statistics of the paper's evaluation and
 print paper-vs-measured side by side (the human-readable companion of
-the bench_test.go suite).
+the bench_test.go suite). The eval experiment runs the scenario-catalog
+ground-truth matrix (docs/scenarios.md) through every configured
+detector and miner via the public API and writes BENCH_eval.json plus a
+markdown report — the quality trajectory compared PR-over-PR
+(docs/evaluation.md).
 
-Experiments (-exp, see DESIGN.md §5):
-  e1  Table 1 itemsets for a NetReflex port-scan alarm
-  e2  GEANT 40-alarm useful-extraction fraction (paper: 94%)
-  e3  GEANT 40-alarm additional-evidence fraction (paper: 26-28%)
-  e4  SWITCH 31-anomaly extraction (paper: all 31)
-  e5  flow-only vs dual support across UDP flood sizes
-  e6  self-tuning vs fixed minimum support
+Experiments (-exp, see DESIGN.md §6-§7):
+  e1    Table 1 itemsets for a NetReflex port-scan alarm
+  e2    GEANT 40-alarm useful-extraction fraction (paper: 94%)
+  e3    GEANT 40-alarm additional-evidence fraction (paper: 26-28%)
+  e4    SWITCH 31-anomaly extraction (paper: all 31)
+  e5    flow-only vs dual support across UDP flood sizes
+  e6    self-tuning vs fixed minimum support
+  eval  scenario catalog x detectors x miners, scored against ground truth
 
 Flags:
 `)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if err := run(*exp, *seed); err != nil {
+	cfg := evalFlags{
+		jsonPath: *jsonPath, mdPath: *mdPath,
+		scenarios: splitCSV(*scenarios), detectors: splitCSV(*detectors),
+		miners: splitCSV(*miners), sync: *sync, quick: *quick,
+	}
+	if err := run(*exp, *seed, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed uint64) error {
+// evalFlags carries the eval-matrix flag set.
+type evalFlags struct {
+	jsonPath, mdPath             string
+	scenarios, detectors, miners []string
+	sync, quick                  bool
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func run(exp string, seed uint64, cfg evalFlags) error {
 	workDir, cleanup, err := eval.TempWorkDir()
 	if err != nil {
 		return err
@@ -85,6 +131,11 @@ func run(exp string, seed uint64) error {
 	}
 	if all || exp == "e6" {
 		if err := runE6(workDir, seed); err != nil {
+			return err
+		}
+	}
+	if all || exp == "eval" {
+		if err := runEval(workDir, seed, cfg); err != nil {
 			return err
 		}
 	}
@@ -204,6 +255,76 @@ func runE6(workDir string, seed uint64) error {
 	fmt.Print(t.String())
 	fmt.Println("paper: the extended Apriori \"automatically self-adjust[s] some of its")
 	fmt.Println("configuration parameters to properly select meaningful itemsets\".")
+	fmt.Printf("elapsed: %v\n", time.Since(t0).Round(time.Millisecond))
+	return nil
+}
+
+// quickScenarios is the reduced -quick matrix: one representative of each
+// major class plus an expect-fail case, sized for CI smoke runs.
+var quickScenarios = []string{
+	"portscan", "dns-amplification", "icmp-flood", "link-outage", "stealthy",
+}
+
+func runEval(workDir string, seed uint64, cfg evalFlags) error {
+	header("EVAL", "scenario catalog x detectors x miners, scored against ground truth")
+	pipeCfg := eval.PipelineConfig{
+		Scenarios: cfg.scenarios,
+		Detectors: cfg.detectors,
+		Miners:    cfg.miners,
+		Seed:      seed,
+		WorkDir:   workDir + "/matrix",
+		UseJobs:   !cfg.sync,
+	}
+	if cfg.quick {
+		if pipeCfg.Scenarios == nil {
+			pipeCfg.Scenarios = quickScenarios
+		}
+		if pipeCfg.Detectors == nil {
+			pipeCfg.Detectors = []string{eval.SynthesizedSource}
+		}
+	}
+	t0 := time.Now()
+	rep, err := eval.RunMatrix(pipeCfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("catalog: %s\n", strings.Join(gen.Names(), ", "))
+	t := report.New("", "miner", "cells", "pass", "precision", "recall", "MRR", "peak itemsets")
+	for _, m := range rep.PerMiner {
+		t.AddRow(m.Miner, fmt.Sprintf("%d", m.Combos), fmt.Sprintf("%d", m.Pass),
+			fmt.Sprintf("%.3f", m.MeanPrecision), fmt.Sprintf("%.3f", m.MeanRecall),
+			fmt.Sprintf("%.3f", m.MeanReciprocalRank), fmt.Sprintf("%d", m.PeakItemsets))
+	}
+	t.AddRow("TOTAL", fmt.Sprintf("%d", rep.Totals.Combos), fmt.Sprintf("%d", rep.Totals.Pass),
+		fmt.Sprintf("%.3f", rep.Totals.MeanPrecision), fmt.Sprintf("%.3f", rep.Totals.MeanRecall),
+		fmt.Sprintf("%.3f", rep.Totals.MeanReciprocalRank), fmt.Sprintf("%d", rep.Totals.PeakItemsets))
+	fmt.Print(t.String())
+	for _, c := range rep.Combos {
+		if c.Error != "" {
+			fmt.Printf("ERROR %s/%s/%s: %s\n", c.Scenario, c.Detector, c.Miner, c.Error)
+		} else if !c.Pass {
+			fmt.Printf("FAIL  %s/%s/%s: useful=%v rank=%d\n",
+				c.Scenario, c.Detector, c.Miner, c.Useful, c.RankOfTrueCause)
+		}
+	}
+
+	if cfg.jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.jsonPath)
+	}
+	if cfg.mdPath != "" {
+		if err := os.WriteFile(cfg.mdPath, []byte(rep.Markdown()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.mdPath)
+	}
 	fmt.Printf("elapsed: %v\n", time.Since(t0).Round(time.Millisecond))
 	return nil
 }

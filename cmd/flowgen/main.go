@@ -7,15 +7,19 @@
 //
 //	flowgen -out /tmp/flows -scenario portscan -bins 30 -sample 100
 //
-// Scenarios: quiet (background only), portscan, ddos, udpflood,
-// table1 (the paper's Table 1 situation: two scanners + two DDoS on one
-// target).
+// Scenarios: the classic shortcuts (quiet, portscan, ddos, udpflood,
+// table1 — the paper's Table 1 situation) plus the entries of the
+// scenario catalog (gen.Names(); docs/scenarios.md documents each).
+// Where a catalog name collides with a classic shortcut (quiet,
+// portscan, udpflood) the shortcut wins, keeping historical traces
+// stable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/flow"
 	"repro/internal/gen"
@@ -26,7 +30,7 @@ import (
 func main() {
 	var (
 		out      = flag.String("out", "", "output store directory (required)")
-		scenario = flag.String("scenario", "portscan", "scenario: quiet|portscan|ddos|udpflood|table1")
+		scenario = flag.String("scenario", "portscan", "scenario: quiet|portscan|ddos|udpflood|table1 or a catalog name (see usage)")
 		bins     = flag.Int("bins", 30, "number of measurement bins")
 		binSec   = flag.Uint("bin-seconds", nfstore.DefaultBinSeconds, "measurement bin width in seconds")
 		pops     = flag.Int("pops", 4, "number of ingress PoPs")
@@ -40,7 +44,7 @@ func main() {
 		diurnal  = flag.Bool("diurnal", false, "modulate background volume diurnally")
 	)
 	flag.Usage = func() {
-		fmt.Fprint(flag.CommandLine.Output(), `usage: flowgen -out DIR [flags]
+		fmt.Fprintf(flag.CommandLine.Output(), `usage: flowgen -out DIR [flags]
 
 Generate a labeled synthetic NetFlow trace into a new flow store — the
 stand-in for the GEANT/SWITCH feeds of the paper's deployments. The
@@ -53,11 +57,18 @@ Scenarios (-scenario):
   udpflood   point-to-point UDP flood (few flows, many packets)
   table1     the paper's Table 1 situation: two scanners + two DDoS
 
+Scenario-catalog names also work (anomalies placed at -anomaly-bin,
+background from the flags; docs/scenarios.md documents each) — except
+quiet, portscan and udpflood, where the classic shortcuts above win to
+keep their historical traces stable:
+  %s
+
 Example:
   flowgen -out /tmp/flows -scenario portscan -bins 30 -sample 100
+  flowgen -out /tmp/flows -scenario dns-amplification -bins 12
 
 Flags:
-`)
+`, strings.Join(gen.Names(), ", "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -84,7 +95,7 @@ func run(out, scenarioName string, bins int, binSec uint32, pops, flowsBin, host
 	if anomBin < 0 {
 		anomBin = bins * 2 / 3
 	}
-	placements, err := scenarioPlacements(scenarioName, anomBin)
+	placements, err := scenarioPlacements(scenarioName, anomBin, seed)
 	if err != nil {
 		return err
 	}
@@ -118,8 +129,10 @@ func run(out, scenarioName string, bins int, binSec uint32, pops, flowsBin, host
 	return nil
 }
 
-// scenarioPlacements maps a scenario name to its anomaly placements.
-func scenarioPlacements(name string, bin int) ([]gen.Placement, error) {
+// scenarioPlacements maps a scenario name to its anomaly placements: the
+// classic shortcuts first (keeping their historical traces stable), then
+// the scenario catalog.
+func scenarioPlacements(name string, bin int, seed uint64) ([]gen.Placement, error) {
 	scanner := flow.MustParseIP("10.191.64.165")
 	scanner2 := flow.MustParseIP("10.22.180.9")
 	victim := flow.MustParseIP("198.19.137.129")
@@ -156,6 +169,9 @@ func scenarioPlacements(name string, bin int) ([]gen.Placement, error) {
 				SourceNet: flow.MustParsePrefix("172.16.0.0/12"), Router: 1}, Bin: bin},
 		}, nil
 	default:
-		return nil, fmt.Errorf("unknown scenario %q", name)
+		if def, ok := gen.Lookup(name); ok {
+			return def.Placements(seed, bin), nil
+		}
+		return nil, fmt.Errorf("unknown scenario %q (catalog: %s)", name, strings.Join(gen.Names(), ", "))
 	}
 }

@@ -16,7 +16,7 @@ func TestScenarioPlacements(t *testing.T) {
 		{"table1", 4},
 	}
 	for _, c := range cases {
-		got, err := scenarioPlacements(c.name, 3)
+		got, err := scenarioPlacements(c.name, 3, 1)
 		if err != nil {
 			t.Errorf("%s: %v", c.name, err)
 			continue
@@ -33,7 +33,7 @@ func TestScenarioPlacements(t *testing.T) {
 			}
 		}
 	}
-	if _, err := scenarioPlacements("nonsense", 0); err == nil {
+	if _, err := scenarioPlacements("nonsense", 0, 1); err == nil {
 		t.Error("unknown scenario must error")
 	}
 }

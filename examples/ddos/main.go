@@ -1,0 +1,113 @@
+// Ddos drives a scenario-catalog DDoS end to end through the public API:
+// generate the "dns-amplification" scenario (many reflectors answering
+// spoofed queries from source port 53), run a registered detector over
+// the trace, extract the flagged interval's ranked itemsets, and compare
+// them against the scenario's ground-truth signature.
+//
+// Run with:
+//
+//	go run ./examples/ddos
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	rootcause "repro"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/itemset"
+)
+
+func main() {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "ddos-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sys, err := rootcause.Create(rootcause.Config{StoreDir: dir + "/flows"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// 1. Generate: the catalog scenario is declarative — name + seed
+	// fully determine the trace and its ground truth.
+	def, ok := gen.Lookup("dns-amplification")
+	if !ok {
+		log.Fatal("scenario catalog misses dns-amplification")
+	}
+	fmt.Printf("scenario %q: %s\n", def.Name, def.Summary)
+	scenario := def.Scenario(42)
+	truth, err := scenario.Generate(sys.Store())
+	if err != nil {
+		log.Fatal(err)
+	}
+	primary := truth.Entry(1)
+	fmt.Printf("injected: %s — %d flows / %d packets in %s\n\n",
+		primary.Describe, primary.StoredFlows, primary.StoredPkts, primary.Interval)
+
+	// 2. Detect: the PCA-based NetReflex stand-in flags the flood bin.
+	ids, err := sys.Detect(ctx, "netreflex", truth.Span)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alarmID := ""
+	for _, id := range ids {
+		entry, err := sys.Alarm(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if entry.Alarm.Interval.Overlaps(primary.Interval) {
+			alarmID = id
+			fmt.Printf("detector alarm: %s\n", entry.Alarm.String())
+			break
+		}
+	}
+	if alarmID == "" {
+		// The paper's pipeline starts from a given alarm either way.
+		alarm := eval.SynthesizeAlarm(primary)
+		alarmID = sys.FileAlarm(alarm)
+		fmt.Printf("detector missed the bin; synthesized alarm: %s\n", alarm.String())
+	}
+
+	// 3. Extract: ranked itemsets for the alarm, Table-1 shape.
+	res, err := sys.Extract(ctx, alarmID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Table().String())
+
+	// 4. Score against ground truth: the top itemset must contain the
+	// scenario's root-cause signature (victim address + source port 53 +
+	// udp).
+	fmt.Println("\nground-truth signature:")
+	for _, it := range primary.Signature {
+		fmt.Printf("  %s\n", it)
+	}
+	rank := 0
+	for i, rep := range res.Itemsets {
+		covered := true
+		for _, it := range primary.Signature {
+			if !rep.Items.Contains(itemset.NewItem(it.Feature, it.Value)) {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			rank = i + 1
+			break
+		}
+	}
+	if rank == 0 {
+		fmt.Println("\n-> no reported itemset carries the full signature (MISSED)")
+		os.Exit(1)
+	}
+	fmt.Printf("\n-> true cause ranked #%d; drill-down: %s\n",
+		rank, res.Itemsets[rank-1].Filter().String())
+}

@@ -1,10 +1,3 @@
-// Package alarmdb is the alarm database of the paper's architecture
-// (Figure 1): detectors write alarms into it, the extraction GUI reads
-// them back by time range and records the operator's verdict after
-// analysis. It is an in-memory store with JSON file persistence — the
-// paper's deployment used a SQL database for the same role; the contract
-// (insert, query by interval, status workflow) is what matters to the
-// rest of the system.
 package alarmdb
 
 import (

@@ -1,0 +1,10 @@
+// Package apriori implements the Apriori frequent itemset mining algorithm
+// (Agrawal & Srikant, VLDB'94) over flow-transaction datasets — the miner
+// the paper builds its anomaly extraction on.
+//
+// The flow setting bounds the problem pleasantly: every transaction has
+// exactly one item per traffic feature, so itemsets contain at most
+// flow.NumFeatures items, no itemset holds two values of the same feature,
+// and each level-k scan enumerates at most C(5, k) subsets per transaction.
+// Candidate generation exploits both facts.
+package apriori

@@ -1,11 +1,3 @@
-// Package detector defines the contract between anomaly detectors and the
-// extraction system: an Alarm names a time interval, a coarse label, and
-// fine-grained meta-data (feature/value pairs such as the affected IPs and
-// ports). The paper's architecture (Figure 1) keeps detectors pluggable —
-// "our system ... can be integrated with any anomaly detection system that
-// provides these data" — and this package is that seam: the histogram/KL
-// detector, the PCA subspace detector and the simulated NetReflex all emit
-// the same Alarm type, and the extraction engine consumes nothing else.
 package detector
 
 import (
@@ -53,7 +45,9 @@ func (m MetaItem) Node() nffilter.Node {
 // the anomaly classes discussed in the paper's GEANT evaluation.
 type Kind string
 
-// Alarm kinds.
+// Alarm kinds. The first block mirrors the anomaly classes of the paper's
+// GEANT evaluation; the second covers the extended scenario catalog
+// (internal/gen, docs/scenarios.md).
 const (
 	KindUnknown   Kind = "unknown"
 	KindPortScan  Kind = "port scan"
@@ -62,6 +56,13 @@ const (
 	KindDDoS      Kind = "ddos"
 	KindUDPFlood  Kind = "udp flood"
 	KindFlashEvnt Kind = "flash event"
+
+	KindAmplification Kind = "amplification ddos"
+	KindICMPFlood     Kind = "icmp flood"
+	KindBotnetScan    Kind = "botnet scan"
+	KindOutage        Kind = "link outage"
+	KindRoutingShift  Kind = "routing shift"
+	KindSpam          Kind = "spam campaign"
 )
 
 // Alarm is one detector alarm: the flagged measurement interval, the

@@ -1,0 +1,9 @@
+// Package detector defines the contract between anomaly detectors and the
+// extraction system: an Alarm names a time interval, a coarse label, and
+// fine-grained meta-data (feature/value pairs such as the affected IPs and
+// ports). The paper's architecture (Figure 1) keeps detectors pluggable —
+// "our system ... can be integrated with any anomaly detection system that
+// provides these data" — and this package is that seam: the histogram/KL
+// detector, the PCA subspace detector and the simulated NetReflex all emit
+// the same Alarm type, and the extraction engine consumes nothing else.
+package detector

@@ -31,7 +31,7 @@ func TestScoreResultPurityAndRecall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alarm := SynthesizeAlarm(truth.Entry(1), s.Placements[0])
+	alarm := SynthesizeAlarm(truth.Entry(1))
 	ex := core.MustNew(store, core.DefaultOptions())
 	res, err := ex.Extract(t.Context(), &alarm)
 	if err != nil {
@@ -104,26 +104,36 @@ func TestScoreAdditionalEvidence(t *testing.T) {
 }
 
 func TestSynthesizeAlarmShapes(t *testing.T) {
-	entry := &gen.TruthEntry{Kind: detector.KindPortScan,
-		Interval: flow.Interval{Start: 0, End: 300}}
 	cases := []struct {
-		p        gen.Placement
+		anomaly  gen.Anomaly
 		wantMeta int
 	}{
-		{gen.Placement{Anomaly: gen.PortScan{Scanner: 1, Victim: 2, SrcPort: 3}}, 3},
-		{gen.Placement{Anomaly: gen.NetworkScan{Scanner: 1, DstPort: 445}}, 2},
-		{gen.Placement{Anomaly: gen.SYNFlood{Victim: 2, DstPort: 80}}, 2},
-		{gen.Placement{Anomaly: gen.UDPFlood{Src: 1, Dst: 2}}, 2},
-		{gen.Placement{Anomaly: gen.FlashCrowd{Server: 2, Port: 80}}, 2},
-		{gen.Placement{Anomaly: gen.Stealthy{Scanner: 1, Victim: 2}}, 1},
+		{gen.PortScan{Scanner: 1, Victim: 2, SrcPort: 3}, 3},
+		{gen.NetworkScan{Scanner: 1, DstPort: 445}, 2},
+		{gen.SYNFlood{Victim: 2, DstPort: 80}, 2},
+		{gen.UDPFlood{Src: 1, Dst: 2}, 2},
+		{gen.FlashCrowd{Server: 2, Port: 80}, 2},
+		{gen.Stealthy{Scanner: 1, Victim: 2}, 1},
+		{gen.AmplificationFlood{Victim: 2, Service: 53}, 3},
+		{gen.ICMPFlood{Victim: 2}, 2},
+		{gen.BotnetScan{DstPort: 5060}, 2},
+		{gen.LinkOutage{Service: 2, Port: 443}, 3},
+		{gen.PrefixMigration{Service: 2, Port: 443}, 3},
+		{gen.SpamCampaign{}, 2},
 	}
 	for i, c := range cases {
-		a := SynthesizeAlarm(entry, c.p)
+		entry := &gen.TruthEntry{Kind: c.anomaly.Kind(),
+			Interval:  flow.Interval{Start: 0, End: 300},
+			Signature: c.anomaly.Signature()}
+		a := SynthesizeAlarm(entry)
 		if len(a.Meta) != c.wantMeta {
 			t.Errorf("case %d: %d meta items, want %d", i, len(a.Meta), c.wantMeta)
 		}
 		if a.Interval != entry.Interval {
 			t.Errorf("case %d: interval not propagated", i)
+		}
+		if a.Kind != c.anomaly.Kind() {
+			t.Errorf("case %d: kind %q not propagated", i, a.Kind)
 		}
 	}
 }

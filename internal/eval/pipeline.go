@@ -1,0 +1,415 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	rootcause "repro"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/miner"
+)
+
+// SynthesizedSource is the pseudo-detector name selecting ground-truth
+// alarm synthesis in PipelineConfig.Detectors: every scenario contributes
+// one alarm built from its primary anomaly's signature, independent of
+// detector recall (the paper's evaluations also start from a given alarm
+// set).
+const SynthesizedSource = "synthesized"
+
+// PipelineConfig parameterizes a full evaluation-matrix run: every
+// selected scenario is generated once, alarm-sourced per detector, and
+// extracted per miner — all through the public rootcause API.
+type PipelineConfig struct {
+	// Scenarios selects catalog entries by name (nil = the whole
+	// catalog, gen.Names()).
+	Scenarios []string
+	// Detectors are the alarm sources: SynthesizedSource and/or
+	// registered detector names. A registered detector that does not
+	// flag the anomaly bin falls back to a synthesized alarm, recorded
+	// in ComboScore.AlarmSource. Nil = SynthesizedSource plus every
+	// registered detector.
+	Detectors []string
+	// Miners selects frequent-itemset miners by registry name (nil =
+	// every registered miner).
+	Miners []string
+	// Seed drives all scenario generation; each scenario derives its
+	// generation seed from Seed and its own name, so adding or removing
+	// scenarios never reshuffles the others.
+	Seed uint64
+	// SampleRate applies 1-in-N packet sampling during generation
+	// (0 or 1 = unsampled).
+	SampleRate uint32
+	// WorkDir hosts the per-scenario stores ("" = temp dir, removed
+	// afterwards).
+	WorkDir string
+	// UseJobs routes every extraction through the system's job manager
+	// (Submit → Wait) instead of the synchronous Extract call,
+	// exercising the production path end to end.
+	UseJobs bool
+}
+
+// ComboScore is the outcome of one scenario × detector × miner cell.
+type ComboScore struct {
+	Scenario   string `json:"scenario"`
+	Kind       string `json:"kind"`
+	ExpectFail bool   `json:"expect_fail,omitempty"`
+	Detector   string `json:"detector"`
+	// AlarmSource is "detector" when the configured detector flagged the
+	// anomaly bin, else "synthesized".
+	AlarmSource string `json:"alarm_source"`
+	// DetectorError records a detection failure (the cell then falls back
+	// to a synthesized alarm so extraction is still scored).
+	DetectorError string `json:"detector_error,omitempty"`
+	Miner         string `json:"miner"`
+	Itemsets      int    `json:"itemsets"`
+	// Useful / Additional are the paper's alarm-level statistics
+	// (purity-based usefulness, evidence beyond the alarm meta-data).
+	Useful     bool `json:"useful"`
+	Additional bool `json:"additional,omitempty"`
+	// Precision, Recall and RankOfTrueCause are the ground-truth scores
+	// (see TruthScore).
+	Precision       float64 `json:"precision"`
+	Recall          float64 `json:"recall"`
+	RankOfTrueCause int     `json:"rank_of_true_cause"`
+	// Pass is the cell verdict: expect-fail scenarios must stay
+	// non-useful, all others must attribute the true cause.
+	Pass bool `json:"pass"`
+	// WallMS is the extraction wall-clock (generation and scoring
+	// excluded).
+	WallMS float64 `json:"wall_ms"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// MatrixTotals aggregates a set of combo cells. Precision/recall/MRR
+// means cover only non-expect-fail cells (expect-fail scenarios have no
+// extractable truth).
+type MatrixTotals struct {
+	Combos        int     `json:"combos"`
+	Pass          int     `json:"pass"`
+	MeanPrecision float64 `json:"mean_precision"`
+	MeanRecall    float64 `json:"mean_recall"`
+	// MeanReciprocalRank averages 1/rank of the true cause (0 when
+	// missed) over non-expect-fail cells.
+	MeanReciprocalRank float64 `json:"mean_reciprocal_rank"`
+	// PeakItemsets is the largest ranked list any cell reported.
+	PeakItemsets int     `json:"peak_itemsets"`
+	WallMS       float64 `json:"wall_ms"`
+}
+
+// MinerTotals is the per-miner aggregate row of a matrix report.
+type MinerTotals struct {
+	Miner string `json:"miner"`
+	MatrixTotals
+}
+
+// MatrixReport is the full evaluation-matrix outcome — the payload of
+// BENCH_eval.json (docs/evaluation.md documents the format and how to
+// compare reports PR-over-PR).
+type MatrixReport struct {
+	// Version is the report format version; bump on breaking changes.
+	Version    int      `json:"version"`
+	Seed       uint64   `json:"seed"`
+	SampleRate uint32   `json:"sample_rate,omitempty"`
+	JobPath    bool     `json:"job_path"`
+	Scenarios  []string `json:"scenarios"`
+	Detectors  []string `json:"detectors"`
+	Miners     []string `json:"miners"`
+	// WallMS is the end-to-end run wall-clock including generation.
+	WallMS   float64       `json:"wall_ms"`
+	Totals   MatrixTotals  `json:"totals"`
+	PerMiner []MinerTotals `json:"per_miner"`
+	Combos   []ComboScore  `json:"combos"`
+}
+
+// MatrixReportVersion is the current MatrixReport.Version.
+const MatrixReportVersion = 1
+
+// scenarioSeed derives a scenario's generation seed from the run seed and
+// the scenario name, so matrix composition never reshuffles individual
+// scenarios.
+func scenarioSeed(base uint64, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return base*0x9e3779b9 + h.Sum64()
+}
+
+// RunMatrix evaluates every selected scenario × detector × miner cell
+// through the public rootcause API and aggregates the report. Scenario
+// generation or store failures abort the run; per-cell extraction errors
+// are recorded in the cell and the matrix continues.
+func RunMatrix(cfg PipelineConfig) (*MatrixReport, error) {
+	t0 := time.Now()
+	scenarios := cfg.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = gen.Names()
+	}
+	detectors := cfg.Detectors
+	if len(detectors) == 0 {
+		detectors = append([]string{SynthesizedSource}, detector.Names()...)
+	} else {
+		// Fail fast on typos: a misspelled detector would otherwise
+		// silently degrade every cell to its synthesized fallback.
+		registered := make(map[string]bool)
+		for _, n := range detector.Names() {
+			registered[n] = true
+		}
+		for _, d := range detectors {
+			if d != SynthesizedSource && !registered[d] {
+				return nil, fmt.Errorf("eval: unknown detector %q (have: %s)",
+					d, strings.Join(append([]string{SynthesizedSource}, detector.Names()...), ", "))
+			}
+		}
+	}
+	miners := cfg.Miners
+	if len(miners) == 0 {
+		miners = miner.Names()
+	}
+	workDir := cfg.WorkDir
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "eval-matrix-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		workDir = dir
+	}
+
+	report := &MatrixReport{
+		Version:    MatrixReportVersion,
+		Seed:       cfg.Seed,
+		SampleRate: cfg.SampleRate,
+		JobPath:    cfg.UseJobs,
+		Scenarios:  scenarios,
+		Detectors:  detectors,
+		Miners:     miners,
+	}
+	for _, name := range scenarios {
+		def, ok := gen.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("eval: unknown scenario %q (catalog: %s)",
+				name, strings.Join(gen.Names(), ", "))
+		}
+		cells, err := runScenarioMatrix(def, cfg, workDir, detectors, miners)
+		if err != nil {
+			return nil, fmt.Errorf("eval: scenario %s: %w", name, err)
+		}
+		report.Combos = append(report.Combos, cells...)
+	}
+	report.WallMS = float64(time.Since(t0).Microseconds()) / 1000
+	report.Totals = totals(report.Combos)
+	for _, m := range miners {
+		var cells []ComboScore
+		for _, c := range report.Combos {
+			if c.Miner == m {
+				cells = append(cells, c)
+			}
+		}
+		report.PerMiner = append(report.PerMiner, MinerTotals{Miner: m, MatrixTotals: totals(cells)})
+	}
+	return report, nil
+}
+
+// runScenarioMatrix generates one scenario into a fresh system and runs
+// its detector × miner cells.
+func runScenarioMatrix(def gen.Def, cfg PipelineConfig, workDir string, detectors, miners []string) ([]ComboScore, error) {
+	ctx := context.Background()
+	sys, err := rootcause.Create(rootcause.Config{
+		StoreDir: filepath.Join(workDir, "scenario-"+def.Name),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+
+	sc := def.Scenario(scenarioSeed(cfg.Seed, def.Name))
+	sc.SampleRate = cfg.SampleRate
+	truth, err := sc.Generate(sys.Store())
+	if err != nil {
+		return nil, err
+	}
+
+	// The bin a detector must flag to count as the alarm source: the
+	// primary anomaly's interval, or the placement bin for quiet traces.
+	anomalyIv := quietAlarmInterval(sc, sys.Store().BinSeconds())
+	kind := detector.KindUnknown
+	if len(truth.Entries) > 0 {
+		anomalyIv = truth.Entries[0].Interval
+		kind = truth.Entries[0].Kind
+	}
+
+	var cells []ComboScore
+	for _, det := range detectors {
+		alarmID, source, detErr := sourceAlarm(ctx, sys, det, truth, anomalyIv, kind)
+		entry, err := sys.Alarm(alarmID)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range miners {
+			cell := ComboScore{
+				Scenario: def.Name, Kind: string(kind), ExpectFail: def.ExpectFail,
+				Detector: det, AlarmSource: source, DetectorError: detErr, Miner: m,
+			}
+			res, wall, err := extractCell(ctx, sys, alarmID, m, cfg.UseJobs)
+			cell.WallMS = wall
+			if err != nil {
+				cell.Error = err.Error()
+				cells = append(cells, cell)
+				continue
+			}
+			if err := scoreCell(&cell, sys, &entry.Alarm, res, truth); err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// quietAlarmInterval is the placement-bin interval of a scenario with no
+// placements (the quiet / false-positive case).
+func quietAlarmInterval(sc *gen.Scenario, binSec uint32) flow.Interval {
+	start := sc.StartTime - sc.StartTime%binSec
+	bin := uint32(sc.Bins / 2)
+	return flow.Interval{
+		Start: start + bin*binSec,
+		End:   start + (bin+1)*binSec,
+	}
+}
+
+// sourceAlarm produces the alarm for one detector column: a synthesized
+// ground-truth alarm for SynthesizedSource, otherwise the configured
+// detector's own alarm on the anomaly bin. A detector that errors or
+// does not flag the bin falls back to the synthesized alarm (the
+// paper's evaluations also start from a given alarm set, not from
+// detector recall); a detection error is reported back for the cells.
+func sourceAlarm(ctx context.Context, sys *rootcause.System, det string, truth *gen.Truth, anomalyIv flow.Interval, kind detector.Kind) (id, source, detErr string) {
+	if det != SynthesizedSource {
+		ids, err := sys.Detect(ctx, det, truth.Span)
+		if err != nil {
+			detErr = err.Error()
+		}
+		for _, aid := range ids {
+			entry, err := sys.Alarm(aid)
+			if err != nil {
+				detErr = err.Error()
+				break
+			}
+			if entry.Alarm.Interval.Overlaps(anomalyIv) {
+				return aid, "detector", ""
+			}
+		}
+	}
+	return sys.FileAlarm(synthesizedAlarm(truth, anomalyIv, kind)), SynthesizedSource, detErr
+}
+
+// synthesizedAlarm builds the ground-truth alarm: the primary anomaly's
+// signature, or a plausible-looking false positive for quiet traces.
+func synthesizedAlarm(truth *gen.Truth, anomalyIv flow.Interval, kind detector.Kind) detector.Alarm {
+	if len(truth.Entries) > 0 {
+		return SynthesizeAlarm(&truth.Entries[0])
+	}
+	return detector.Alarm{
+		Detector: SynthesizedSource, Interval: anomalyIv,
+		Kind: detector.KindDDoS, Score: 1.1,
+		Meta: []detector.MetaItem{
+			{Feature: flow.FeatDstIP, Value: uint32(flow.IPFromOctets(198, 18, 0, 0))},
+			{Feature: flow.FeatDstPort, Value: 80},
+		},
+	}
+}
+
+// extractCell runs one extraction — synchronously or through the job
+// manager — and returns the result (nil when the interval held nothing to
+// mine) and the wall-clock in milliseconds.
+func extractCell(ctx context.Context, sys *rootcause.System, alarmID, minerName string, useJobs bool) (*rootcause.Result, float64, error) {
+	t0 := time.Now()
+	var res *rootcause.Result
+	var err error
+	if useJobs {
+		var jobID string
+		jobID, err = sys.Submit(rootcause.JobRequest{AlarmID: alarmID},
+			rootcause.WithMiner(minerName), rootcause.WithTransientJob())
+		if err == nil {
+			var jr *rootcause.JobResult
+			jr, err = sys.Wait(ctx, jobID)
+			if jr != nil {
+				res = jr.Result
+			}
+		}
+	} else {
+		res, err = sys.Extract(ctx, alarmID, rootcause.WithMiner(minerName))
+	}
+	wall := float64(time.Since(t0).Microseconds()) / 1000
+	if errors.Is(err, core.ErrNoCandidates) {
+		return nil, wall, nil
+	}
+	return res, wall, err
+}
+
+// scoreCell fills one cell's ground-truth and alarm-level scores.
+func scoreCell(cell *ComboScore, sys *rootcause.System, alarm *detector.Alarm, res *rootcause.Result, truth *gen.Truth) error {
+	opts := DefaultScoreOptions()
+	ts, err := ScoreTruth(sys.Store(), alarm.Interval, res, truth, opts)
+	if err != nil {
+		return err
+	}
+	cell.Precision = ts.Precision
+	cell.Recall = ts.Recall
+	cell.RankOfTrueCause = ts.Rank
+	if res != nil {
+		cell.Itemsets = len(res.Itemsets)
+		as, err := ScoreResult(sys.Store(), alarm, res, opts)
+		if err != nil {
+			return err
+		}
+		cell.Useful = as.Useful
+		cell.Additional = as.Additional
+	}
+	if cell.ExpectFail {
+		cell.Pass = !cell.Useful
+	} else {
+		cell.Pass = cell.Useful && cell.RankOfTrueCause >= 1
+	}
+	return nil
+}
+
+// totals aggregates a cell set (see MatrixTotals for the conventions).
+func totals(cells []ComboScore) MatrixTotals {
+	var t MatrixTotals
+	scored := 0
+	var sumP, sumR, sumRR float64
+	for _, c := range cells {
+		t.Combos++
+		if c.Pass {
+			t.Pass++
+		}
+		if c.Itemsets > t.PeakItemsets {
+			t.PeakItemsets = c.Itemsets
+		}
+		t.WallMS += c.WallMS
+		if c.ExpectFail || c.Error != "" {
+			continue
+		}
+		scored++
+		sumP += c.Precision
+		sumR += c.Recall
+		if c.RankOfTrueCause > 0 {
+			sumRR += 1 / float64(c.RankOfTrueCause)
+		}
+	}
+	if scored > 0 {
+		t.MeanPrecision = sumP / float64(scored)
+		t.MeanRecall = sumR / float64(scored)
+		t.MeanReciprocalRank = sumRR / float64(scored)
+	}
+	return t
+}

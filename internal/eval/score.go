@@ -1,9 +1,3 @@
-// Package eval is the experiment harness: it scores extraction results
-// against the generator's ground-truth annotations and runs the paper's
-// evaluation suites (the 40-alarm GEANT evaluation with 1/100 sampling,
-// the 31-anomaly SWITCH evaluation with the histogram/KL detector, the
-// Table 1 scenario, the flow-vs-packet support sweep and the self-tuning
-// ablation). EXPERIMENTS.md records paper-vs-measured for each.
 package eval
 
 import (
@@ -164,48 +158,20 @@ func ScoreResult(store *nfstore.Store, alarm *detector.Alarm, res *core.Result, 
 
 // SynthesizeAlarm builds the NetReflex-style narrow alarm for a placed
 // anomaly directly from ground truth: the anomaly's interval plus the
-// fine-grained meta-data its dominant signature would produce. Suites use
-// it when the detector under test did not flag the anomaly's bin, so that
-// every scenario still contributes one alarm — the paper's evaluations
-// also start from a fixed set of alarms, not from detector recall.
-func SynthesizeAlarm(entry *gen.TruthEntry, placement gen.Placement) detector.Alarm {
+// fine-grained meta-data of its root-cause signature (Anomaly.Signature).
+// Suites use it when the detector under test did not flag the anomaly's
+// bin, so that every scenario still contributes one alarm — the paper's
+// evaluations also start from a fixed set of alarms, not from detector
+// recall.
+func SynthesizeAlarm(entry *gen.TruthEntry) detector.Alarm {
 	a := detector.Alarm{
 		Detector: "synthesized",
 		Interval: entry.Interval,
 		Kind:     entry.Kind,
 		Score:    1,
 	}
-	switch an := placement.Anomaly.(type) {
-	case gen.PortScan:
-		a.Meta = []detector.MetaItem{
-			{Feature: flow.FeatSrcIP, Value: uint32(an.Scanner)},
-			{Feature: flow.FeatDstIP, Value: uint32(an.Victim)},
-			{Feature: flow.FeatSrcPort, Value: uint32(an.SrcPort)},
-		}
-	case gen.NetworkScan:
-		a.Meta = []detector.MetaItem{
-			{Feature: flow.FeatSrcIP, Value: uint32(an.Scanner)},
-			{Feature: flow.FeatDstPort, Value: uint32(an.DstPort)},
-		}
-	case gen.SYNFlood:
-		a.Meta = []detector.MetaItem{
-			{Feature: flow.FeatDstIP, Value: uint32(an.Victim)},
-			{Feature: flow.FeatDstPort, Value: uint32(an.DstPort)},
-		}
-	case gen.UDPFlood:
-		a.Meta = []detector.MetaItem{
-			{Feature: flow.FeatSrcIP, Value: uint32(an.Src)},
-			{Feature: flow.FeatDstIP, Value: uint32(an.Dst)},
-		}
-	case gen.FlashCrowd:
-		a.Meta = []detector.MetaItem{
-			{Feature: flow.FeatDstIP, Value: uint32(an.Server)},
-			{Feature: flow.FeatDstPort, Value: uint32(an.Port)},
-		}
-	case gen.Stealthy:
-		a.Meta = []detector.MetaItem{
-			{Feature: flow.FeatDstIP, Value: uint32(an.Victim)},
-		}
+	for _, it := range entry.Signature {
+		a.Meta = append(a.Meta, detector.MetaItem{Feature: it.Feature, Value: it.Value})
 	}
 	return a
 }

@@ -422,7 +422,7 @@ func runScenario(i int, spec ScenarioSpec, cfg SuiteConfig, workDir string, bins
 			}
 		}
 		if source == "synthesized" {
-			alarm = SynthesizeAlarm(truth.Entry(1), placements[0])
+			alarm = SynthesizeAlarm(truth.Entry(1))
 		}
 	}
 

@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/nfstore"
+)
+
+// EntryAttribution records how one injected anomaly fared in a ranked
+// extraction result.
+type EntryAttribution struct {
+	Anno     flow.Annotation
+	Kind     detector.Kind
+	Describe string
+	// Attributed reports whether some reported itemset's traffic is
+	// dominated by this anomaly; Rank is the 1-based rank of the first
+	// such itemset (0 when unattributed).
+	Attributed bool
+	Rank       int
+}
+
+// TruthScore is the ground-truth scoring of one ranked extraction result
+// against the generator's annotations: itemset precision, anomaly recall
+// and the rank of the true cause.
+type TruthScore struct {
+	// ReportedItemsets / CorrectItemsets count the ranked list and the
+	// subset whose matched traffic is dominated (>= UsefulPurity, in
+	// flows or packets) by a single injected anomaly.
+	ReportedItemsets int
+	CorrectItemsets  int
+	// Precision is CorrectItemsets/ReportedItemsets (0 when nothing was
+	// reported).
+	Precision float64
+	// Recall is the fraction of injected anomalies attributed by at
+	// least one correct itemset.
+	Recall float64
+	// Rank is the 1-based rank of the first itemset attributed to the
+	// primary anomaly (annotation 1); 0 means the true cause never
+	// appeared.
+	Rank    int
+	Entries []EntryAttribution
+}
+
+// ScoreTruth evaluates a ranked extraction result against the scenario's
+// ground truth. Each reported itemset is matched against the stored flows
+// of the alarm interval; an itemset is correct when a single injected
+// anomaly dominates its traffic (>= opts.UsefulPurity of matched flows or
+// packets), and that anomaly is then attributed at the itemset's rank.
+// A nil res scores zero (no candidates / nothing mined).
+func ScoreTruth(store *nfstore.Store, iv flow.Interval, res *core.Result, truth *gen.Truth, opts ScoreOptions) (*TruthScore, error) {
+	if opts.UsefulPurity <= 0 {
+		opts.UsefulPurity = 0.8
+	}
+	ts := &TruthScore{}
+	for _, e := range truth.Entries {
+		ts.Entries = append(ts.Entries, EntryAttribution{
+			Anno: e.Anno, Kind: e.Kind, Describe: e.Describe,
+		})
+	}
+	if res == nil {
+		return ts, nil
+	}
+	ts.ReportedItemsets = len(res.Itemsets)
+	for rank := range res.Itemsets {
+		filter := res.Itemsets[rank].Filter()
+		var matchedFlows, matchedPkts uint64
+		annoFlows := make(map[flow.Annotation]uint64)
+		annoPkts := make(map[flow.Annotation]uint64)
+		err := store.Query(context.Background(), iv, filter, func(r *flow.Record) error {
+			matchedFlows++
+			matchedPkts += r.Packets
+			if r.IsAnomalous() {
+				annoFlows[r.Anno]++
+				annoPkts[r.Anno] += r.Packets
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if matchedFlows == 0 {
+			continue
+		}
+		// The dominant anomaly: best share in either support dimension,
+		// mirroring the engine's dual flow/packet mining.
+		var best flow.Annotation
+		var bestShare float64
+		for anno, f := range annoFlows {
+			share := float64(f) / float64(matchedFlows)
+			if matchedPkts > 0 {
+				if ps := float64(annoPkts[anno]) / float64(matchedPkts); ps > share {
+					share = ps
+				}
+			}
+			if share > bestShare {
+				best, bestShare = anno, share
+			}
+		}
+		if best == flow.AnnoBackground || bestShare < opts.UsefulPurity {
+			continue
+		}
+		ts.CorrectItemsets++
+		if e := int(best) - 1; e >= 0 && e < len(ts.Entries) && !ts.Entries[e].Attributed {
+			ts.Entries[e].Attributed = true
+			ts.Entries[e].Rank = rank + 1
+		}
+	}
+	if ts.ReportedItemsets > 0 {
+		ts.Precision = float64(ts.CorrectItemsets) / float64(ts.ReportedItemsets)
+	}
+	if len(ts.Entries) > 0 {
+		attributed := 0
+		for _, e := range ts.Entries {
+			if e.Attributed {
+				attributed++
+			}
+		}
+		ts.Recall = float64(attributed) / float64(len(ts.Entries))
+		ts.Rank = ts.Entries[0].Rank
+	}
+	return ts, nil
+}

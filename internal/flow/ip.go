@@ -1,13 +1,3 @@
-// Package flow defines the NetFlow-style flow record model shared by every
-// other package in this repository: IPv4 addresses, the 5-tuple, traffic
-// counters and the traffic features over which anomaly extraction mines.
-//
-// The model matches what the paper's NfDump backend stores for NetFlow v5
-// records (the GEANT and SWITCH deployments both exported v5-era records):
-// IPv4 endpoints, transport ports, protocol, packet/byte/flow counters and
-// a start timestamp. Records additionally carry the ingress point-of-presence
-// (GEANT has 18) and a ground-truth annotation used only by the synthetic
-// evaluation harness.
 package flow
 
 import (

@@ -1,0 +1,11 @@
+// Package fpgrowth implements the FP-Growth frequent itemset mining
+// algorithm (Han, Pei & Yin, SIGMOD'00) over the same flow-transaction
+// datasets as package apriori.
+//
+// The paper's system uses Apriori; FP-Growth is included as the natural
+// baseline any FIM-based system would be compared against (experiment E8
+// in DESIGN.md) and as an independent implementation for cross-checking
+// mining correctness: both miners must produce identical itemset/support
+// results on every dataset, a property the test suites of both packages
+// enforce.
+package fpgrowth

@@ -6,6 +6,19 @@ import (
 	"repro/internal/stats"
 )
 
+// ExpectedItem is one feature=value pair of an anomaly's ground-truth
+// root-cause signature: the item an ideal extraction would report for it
+// (the Table-1-style conjunction identifying the anomalous traffic).
+type ExpectedItem struct {
+	Feature flow.Feature
+	Value   uint32
+}
+
+// String renders the item as "feature=value" the way reports print it.
+func (e ExpectedItem) String() string {
+	return e.Feature.String() + "=" + e.Feature.FormatValue(e.Value)
+}
+
 // Anomaly injects one anomaly's flows into a measurement bin. Injectors
 // are pure parameter structs: the same injector placed in two scenarios
 // with the same seed produces identical flows.
@@ -14,8 +27,33 @@ type Anomaly interface {
 	Kind() detector.Kind
 	// Describe returns a short operator-readable parameter summary.
 	Describe() string
+	// Signature is the expected root-cause itemset: the feature=value
+	// conjunction an ideal extraction reports for this anomaly. Suites
+	// synthesize detector meta-data from it and score ranked itemsets
+	// against it.
+	Signature() []ExpectedItem
 	// Emit generates the anomaly's flow records across the interval.
 	Emit(rng *stats.RNG, iv flow.Interval, anno flow.Annotation, emit func(*flow.Record) error) error
+}
+
+// BackgroundSuppressor is implemented by anomalies that remove traffic
+// rather than (or in addition to) adding it — link outages and traffic
+// blackouts. While such a placement's bin is being generated, every
+// background record for which SuppressBackground returns true is dropped
+// before storage; Truth records the drop count.
+type BackgroundSuppressor interface {
+	SuppressBackground(r *flow.Record) bool
+}
+
+// randIPIn draws a uniformly random address inside the prefix. The span
+// shift is guarded so /0 and /1 prefixes do not overflow uint32.
+func randIPIn(rng *stats.RNG, p flow.Prefix) flow.IP {
+	hostBits := 32 - p.Bits
+	span := uint32(1) << uint(hostBits)
+	if hostBits >= 31 {
+		span = 1 << 31
+	}
+	return flow.IP(uint32(p.Addr) + rng.Uint32()%span)
 }
 
 // startIn picks a uniformly random start second inside iv.
@@ -49,6 +87,17 @@ func (a PortScan) Kind() detector.Kind { return detector.KindPortScan }
 // Describe implements Anomaly.
 func (a PortScan) Describe() string {
 	return "port scan " + a.Scanner.String() + " -> " + a.Victim.String()
+}
+
+// Signature implements Anomaly: the paper's Table-1 row shape for a port
+// scan — scanner, victim and the fixed source port, destination port
+// wildcarded.
+func (a PortScan) Signature() []ExpectedItem {
+	return []ExpectedItem{
+		{Feature: flow.FeatSrcIP, Value: uint32(a.Scanner)},
+		{Feature: flow.FeatDstIP, Value: uint32(a.Victim)},
+		{Feature: flow.FeatSrcPort, Value: uint32(a.SrcPort)},
+	}
 }
 
 // Emit implements Anomaly.
@@ -98,6 +147,14 @@ func (a NetworkScan) Kind() detector.Kind { return detector.KindNetScan }
 // Describe implements Anomaly.
 func (a NetworkScan) Describe() string {
 	return "network scan " + a.Scanner.String() + " -> " + a.Prefix.String()
+}
+
+// Signature implements Anomaly: the scanner and the single probed port.
+func (a NetworkScan) Signature() []ExpectedItem {
+	return []ExpectedItem{
+		{Feature: flow.FeatSrcIP, Value: uint32(a.Scanner)},
+		{Feature: flow.FeatDstPort, Value: uint32(a.DstPort)},
+	}
 }
 
 // Emit implements Anomaly.
@@ -157,6 +214,15 @@ func (a SYNFlood) Describe() string {
 	return "syn flood -> " + a.Victim.String()
 }
 
+// Signature implements Anomaly: the flooded service endpoint (sources are
+// many/spoofed and not part of the root cause).
+func (a SYNFlood) Signature() []ExpectedItem {
+	return []ExpectedItem{
+		{Feature: flow.FeatDstIP, Value: uint32(a.Victim)},
+		{Feature: flow.FeatDstPort, Value: uint32(a.DstPort)},
+	}
+}
+
 // Emit implements Anomaly.
 func (a SYNFlood) Emit(rng *stats.RNG, iv flow.Interval, anno flow.Annotation, emit func(*flow.Record) error) error {
 	sources := a.Sources
@@ -167,13 +233,8 @@ func (a SYNFlood) Emit(rng *stats.RNG, iv flow.Interval, anno flow.Annotation, e
 	if per <= 0 {
 		per = 10
 	}
-	hostBits := 32 - a.SourceNet.Bits
-	span := uint32(1) << uint(hostBits)
-	if hostBits >= 31 {
-		span = 1 << 31
-	}
 	for s := 0; s < sources; s++ {
-		src := flow.IP(uint32(a.SourceNet.Addr) + rng.Uint32()%span)
+		src := randIPIn(rng, a.SourceNet)
 		for i := 0; i < per; i++ {
 			srcPort := a.SrcPort
 			if srcPort == 0 {
@@ -216,6 +277,14 @@ func (a UDPFlood) Kind() detector.Kind { return detector.KindUDPFlood }
 // Describe implements Anomaly.
 func (a UDPFlood) Describe() string {
 	return "udp flood " + a.Src.String() + " -> " + a.Dst.String()
+}
+
+// Signature implements Anomaly: the point-to-point pair.
+func (a UDPFlood) Signature() []ExpectedItem {
+	return []ExpectedItem{
+		{Feature: flow.FeatSrcIP, Value: uint32(a.Src)},
+		{Feature: flow.FeatDstIP, Value: uint32(a.Dst)},
+	}
 }
 
 // Emit implements Anomaly.
@@ -263,6 +332,14 @@ func (a FlashCrowd) Kind() detector.Kind { return detector.KindFlashEvnt }
 // Describe implements Anomaly.
 func (a FlashCrowd) Describe() string {
 	return "flash crowd -> " + a.Server.String()
+}
+
+// Signature implements Anomaly: the rushed service endpoint.
+func (a FlashCrowd) Signature() []ExpectedItem {
+	return []ExpectedItem{
+		{Feature: flow.FeatDstIP, Value: uint32(a.Server)},
+		{Feature: flow.FeatDstPort, Value: uint32(a.Port)},
+	}
 }
 
 // Emit implements Anomaly.
@@ -315,6 +392,15 @@ func (a Stealthy) Kind() detector.Kind { return detector.KindPortScan }
 // Describe implements Anomaly.
 func (a Stealthy) Describe() string {
 	return "stealthy scan " + a.Scanner.String() + " -> " + a.Victim.String()
+}
+
+// Signature implements Anomaly: only the victim — a stealthy scan leaves
+// no mineable fixed port, which is exactly why extraction is expected to
+// fail on it.
+func (a Stealthy) Signature() []ExpectedItem {
+	return []ExpectedItem{
+		{Feature: flow.FeatDstIP, Value: uint32(a.Victim)},
+	}
 }
 
 // Emit implements Anomaly.

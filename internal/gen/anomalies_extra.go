@@ -1,0 +1,425 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/flow"
+	"repro/internal/stats"
+)
+
+// This file holds the extended scenario-catalog injectors beyond the
+// anomaly classes of the paper's own evaluation: reflection/amplification
+// DDoS, ICMP floods, coordinated botnet scans, link outages (the only
+// subtractive anomaly — see BackgroundSuppressor), routing shifts and
+// spam campaigns. docs/scenarios.md catalogs the traffic shape and the
+// expected Table-1-style itemset of each.
+
+// AmplificationFlood models a DNS/NTP reflection-amplification DDoS: many
+// reflector hosts answer spoofed queries with large UDP responses from
+// the service port (53 or 123) toward the victim. The mineable signature
+// is the victim address plus the constant *source* port — the reflected
+// service — with destination ports scattered over the ephemeral range the
+// spoofed queries used.
+type AmplificationFlood struct {
+	Victim flow.IP
+	// Service is the reflected UDP service port: 53 (DNS) or 123 (NTP).
+	Service uint16
+	// Reflectors is the number of distinct reflector addresses, drawn
+	// from ReflectorNet.
+	Reflectors   int
+	ReflectorNet flow.Prefix
+	// FlowsPerReflector is the response-flow count per reflector.
+	FlowsPerReflector int
+	// PacketsPerFlow sizes each response flow (amplified payloads).
+	PacketsPerFlow uint64
+	Router         uint16
+}
+
+// Kind implements Anomaly.
+func (a AmplificationFlood) Kind() detector.Kind { return detector.KindAmplification }
+
+// Describe implements Anomaly.
+func (a AmplificationFlood) Describe() string {
+	svc := "dns"
+	if a.Service == 123 {
+		svc = "ntp"
+	}
+	return fmt.Sprintf("%s amplification -> %s", svc, a.Victim)
+}
+
+// Signature implements Anomaly: victim plus the reflected service port on
+// the source side.
+func (a AmplificationFlood) Signature() []ExpectedItem {
+	return []ExpectedItem{
+		{Feature: flow.FeatDstIP, Value: uint32(a.Victim)},
+		{Feature: flow.FeatSrcPort, Value: uint32(a.Service)},
+		{Feature: flow.FeatProto, Value: uint32(flow.ProtoUDP)},
+	}
+}
+
+// Emit implements Anomaly.
+func (a AmplificationFlood) Emit(rng *stats.RNG, iv flow.Interval, anno flow.Annotation, emit func(*flow.Record) error) error {
+	reflectors := a.Reflectors
+	if reflectors <= 0 {
+		reflectors = 500
+	}
+	per := a.FlowsPerReflector
+	if per <= 0 {
+		per = 4
+	}
+	pkts := a.PacketsPerFlow
+	if pkts == 0 {
+		pkts = 200
+	}
+	for s := 0; s < reflectors; s++ {
+		src := randIPIn(rng, a.ReflectorNet)
+		for i := 0; i < per; i++ {
+			r := flow.Record{
+				Start: startIn(rng, iv),
+				SrcIP: src, DstIP: a.Victim,
+				SrcPort: a.Service, DstPort: uint16(1024 + rng.Intn(64511)),
+				Proto:  flow.ProtoUDP,
+				Router: a.Router, Anno: anno,
+				// Amplified responses: large packets (~1.4 KB average).
+				Packets: pkts, Bytes: pkts * uint64(1000+rng.Intn(460)),
+			}
+			if err := emit(&r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ICMPFlood models a (distributed) ICMP echo flood: many sources pinging
+// one victim at high packet rates. Ports are zero for ICMP, so the
+// mineable signature is the victim plus the protocol itself.
+type ICMPFlood struct {
+	Victim flow.IP
+	// Sources is the number of flooding source addresses from SourceNet.
+	Sources   int
+	SourceNet flow.Prefix
+	// FlowsPerSource / PacketsPerFlow size the flood.
+	FlowsPerSource int
+	PacketsPerFlow uint64
+	Router         uint16
+}
+
+// Kind implements Anomaly.
+func (a ICMPFlood) Kind() detector.Kind { return detector.KindICMPFlood }
+
+// Describe implements Anomaly.
+func (a ICMPFlood) Describe() string { return "icmp flood -> " + a.Victim.String() }
+
+// Signature implements Anomaly.
+func (a ICMPFlood) Signature() []ExpectedItem {
+	return []ExpectedItem{
+		{Feature: flow.FeatDstIP, Value: uint32(a.Victim)},
+		{Feature: flow.FeatProto, Value: uint32(flow.ProtoICMP)},
+	}
+}
+
+// Emit implements Anomaly.
+func (a ICMPFlood) Emit(rng *stats.RNG, iv flow.Interval, anno flow.Annotation, emit func(*flow.Record) error) error {
+	sources := a.Sources
+	if sources <= 0 {
+		sources = 200
+	}
+	per := a.FlowsPerSource
+	if per <= 0 {
+		per = 5
+	}
+	pkts := a.PacketsPerFlow
+	if pkts == 0 {
+		pkts = 500
+	}
+	for s := 0; s < sources; s++ {
+		src := randIPIn(rng, a.SourceNet)
+		for i := 0; i < per; i++ {
+			r := flow.Record{
+				Start: startIn(rng, iv),
+				SrcIP: src, DstIP: a.Victim,
+				Proto:  flow.ProtoICMP,
+				Router: a.Router, Anno: anno,
+				Packets: pkts, Bytes: pkts * 64,
+			}
+			if err := emit(&r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BotnetScan models a coordinated multi-source scan: a botnet sweeping a
+// target prefix for one vulnerable service, each bot covering a slice of
+// the address space. No single source dominates — the mineable signature
+// is the shared destination port, not a scanner address.
+type BotnetScan struct {
+	// Bots is the number of scanning sources, drawn from BotNet.
+	Bots   int
+	BotNet flow.Prefix
+	// Prefix is the swept target network; HostsPerBot the per-bot probe
+	// count.
+	Prefix      flow.Prefix
+	HostsPerBot int
+	DstPort     uint16
+	Router      uint16
+}
+
+// Kind implements Anomaly.
+func (a BotnetScan) Kind() detector.Kind { return detector.KindBotnetScan }
+
+// Describe implements Anomaly.
+func (a BotnetScan) Describe() string {
+	return fmt.Sprintf("botnet scan (%d bots) -> %s port %d", a.Bots, a.Prefix, a.DstPort)
+}
+
+// Signature implements Anomaly: the swept service port (the bots are many
+// and individually below any support threshold).
+func (a BotnetScan) Signature() []ExpectedItem {
+	return []ExpectedItem{
+		{Feature: flow.FeatDstPort, Value: uint32(a.DstPort)},
+		{Feature: flow.FeatProto, Value: uint32(flow.ProtoTCP)},
+	}
+}
+
+// Emit implements Anomaly.
+func (a BotnetScan) Emit(rng *stats.RNG, iv flow.Interval, anno flow.Annotation, emit func(*flow.Record) error) error {
+	bots := a.Bots
+	if bots <= 0 {
+		bots = 100
+	}
+	per := a.HostsPerBot
+	if per <= 0 {
+		per = 50
+	}
+	for b := 0; b < bots; b++ {
+		src := randIPIn(rng, a.BotNet)
+		for i := 0; i < per; i++ {
+			dst := randIPIn(rng, a.Prefix)
+			r := flow.Record{
+				Start: startIn(rng, iv),
+				SrcIP: src, DstIP: dst,
+				SrcPort: uint16(1024 + rng.Intn(64511)), DstPort: a.DstPort,
+				Proto: flow.ProtoTCP, Flags: flow.TCPSyn,
+				Router: a.Router, Anno: anno,
+				Packets: 1, Bytes: 40,
+			}
+			if err := emit(&r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LinkOutage models a dead link or blackholed service: background traffic
+// toward the affected destination prefix disappears for the bin
+// (BackgroundSuppressor), while clients hammer the primary service with
+// failed SYN retries. The additive half (the retry storm) is what the
+// flow archive — and therefore the miner — can see; the subtractive half
+// is what volume detectors alarm on.
+type LinkOutage struct {
+	// Prefix is the blackholed destination network.
+	Prefix flow.Prefix
+	// Service is the primary service host inside Prefix that clients
+	// retry against, on Port.
+	Service flow.IP
+	Port    uint16
+	// Clients is the number of retrying client addresses; Retries the
+	// SYN attempts each makes per bin.
+	Clients int
+	Retries int
+	Router  uint16
+}
+
+// Kind implements Anomaly.
+func (a LinkOutage) Kind() detector.Kind { return detector.KindOutage }
+
+// Describe implements Anomaly.
+func (a LinkOutage) Describe() string {
+	return fmt.Sprintf("link outage %s (retry storm -> %s:%d)", a.Prefix, a.Service, a.Port)
+}
+
+// Signature implements Anomaly: the unreachable service endpoint the
+// retries converge on.
+func (a LinkOutage) Signature() []ExpectedItem {
+	return []ExpectedItem{
+		{Feature: flow.FeatDstIP, Value: uint32(a.Service)},
+		{Feature: flow.FeatDstPort, Value: uint32(a.Port)},
+		{Feature: flow.FeatProto, Value: uint32(flow.ProtoTCP)},
+	}
+}
+
+// SuppressBackground implements BackgroundSuppressor: during the outage
+// bin no background flow toward the blackholed prefix reaches the
+// archive.
+func (a LinkOutage) SuppressBackground(r *flow.Record) bool {
+	return a.Prefix.Contains(r.DstIP)
+}
+
+// Emit implements Anomaly: the retry storm. SYN-only single-packet flows,
+// several per client — failed handshakes have no response flows.
+func (a LinkOutage) Emit(rng *stats.RNG, iv flow.Interval, anno flow.Annotation, emit func(*flow.Record) error) error {
+	clients := a.Clients
+	if clients <= 0 {
+		clients = 400
+	}
+	retries := a.Retries
+	if retries <= 0 {
+		retries = 6
+	}
+	for c := 0; c < clients; c++ {
+		src := flow.IPFromOctets(10, byte(c%4), byte(c>>8), byte(c))
+		for i := 0; i < retries; i++ {
+			r := flow.Record{
+				Start: startIn(rng, iv),
+				SrcIP: src, DstIP: a.Service,
+				SrcPort: uint16(1024 + rng.Intn(64511)), DstPort: a.Port,
+				Proto: flow.ProtoTCP, Flags: flow.TCPSyn,
+				Router: a.Router, Anno: anno,
+				Packets: uint64(1 + rng.Intn(2)),
+			}
+			r.Bytes = r.Packets * 40
+			if err := emit(&r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PrefixMigration models a routing shift: a popular service's prefix is
+// re-announced and its traffic abruptly enters through a different PoP,
+// with the established client population re-connecting at once. The
+// volume spike plus ingress change is what detectors see; the mineable
+// signature is the migrated service endpoint.
+type PrefixMigration struct {
+	// Service is the migrated service host and port.
+	Service flow.IP
+	Port    uint16
+	// Clients is the size of the re-connecting client population;
+	// FlowsPerClient the re-established sessions each.
+	Clients        int
+	FlowsPerClient int
+	// OldRouter/NewRouter are the ingress PoPs before/after the shift;
+	// emitted flows carry NewRouter.
+	OldRouter, NewRouter uint16
+}
+
+// Kind implements Anomaly.
+func (a PrefixMigration) Kind() detector.Kind { return detector.KindRoutingShift }
+
+// Describe implements Anomaly.
+func (a PrefixMigration) Describe() string {
+	return fmt.Sprintf("prefix migration %s:%d PoP %d -> %d", a.Service, a.Port, a.OldRouter, a.NewRouter)
+}
+
+// Signature implements Anomaly.
+func (a PrefixMigration) Signature() []ExpectedItem {
+	return []ExpectedItem{
+		{Feature: flow.FeatDstIP, Value: uint32(a.Service)},
+		{Feature: flow.FeatDstPort, Value: uint32(a.Port)},
+		{Feature: flow.FeatProto, Value: uint32(flow.ProtoTCP)},
+	}
+}
+
+// Emit implements Anomaly: the synchronized re-connection surge through
+// the new ingress. Sessions are short full handshakes (SYN|ACK|PSH|FIN)
+// — unlike a SYN flood — but land in one bin instead of spreading out.
+func (a PrefixMigration) Emit(rng *stats.RNG, iv flow.Interval, anno flow.Annotation, emit func(*flow.Record) error) error {
+	clients := a.Clients
+	if clients <= 0 {
+		clients = 800
+	}
+	per := a.FlowsPerClient
+	if per <= 0 {
+		per = 3
+	}
+	for c := 0; c < clients; c++ {
+		src := flow.IPFromOctets(172, 20, byte(c>>8), byte(c))
+		for i := 0; i < per; i++ {
+			pkts := uint64(4 + rng.Intn(12))
+			r := flow.Record{
+				Start: startIn(rng, iv), Dur: uint32(rng.Exp(2000)),
+				SrcIP: src, DstIP: a.Service,
+				SrcPort: uint16(1024 + rng.Intn(64511)), DstPort: a.Port,
+				Proto: flow.ProtoTCP, Flags: flow.TCPSyn | flow.TCPAck | flow.TCPPsh | flow.TCPFin,
+				Router: a.NewRouter, Anno: anno,
+				Packets: pkts, Bytes: pkts * uint64(100+rng.Intn(500)),
+			}
+			if err := emit(&r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SpamCampaign models a distributed spam run: a botnet delivering mail to
+// many MX hosts at once. Sources and destinations are both spread out, so
+// the only stable signature is the SMTP port itself.
+type SpamCampaign struct {
+	// Bots is the number of sending sources from BotNet; MXHosts the
+	// number of distinct mail servers targeted (drawn from MXNet).
+	Bots    int
+	BotNet  flow.Prefix
+	MXHosts int
+	MXNet   flow.Prefix
+	// FlowsPerBot is the delivery-attempt count per bot.
+	FlowsPerBot int
+	Router      uint16
+}
+
+// Kind implements Anomaly.
+func (a SpamCampaign) Kind() detector.Kind { return detector.KindSpam }
+
+// Describe implements Anomaly.
+func (a SpamCampaign) Describe() string {
+	return fmt.Sprintf("spam campaign (%d bots -> %d MXes)", a.Bots, a.MXHosts)
+}
+
+// Signature implements Anomaly.
+func (a SpamCampaign) Signature() []ExpectedItem {
+	return []ExpectedItem{
+		{Feature: flow.FeatDstPort, Value: 25},
+		{Feature: flow.FeatProto, Value: uint32(flow.ProtoTCP)},
+	}
+}
+
+// Emit implements Anomaly.
+func (a SpamCampaign) Emit(rng *stats.RNG, iv flow.Interval, anno flow.Annotation, emit func(*flow.Record) error) error {
+	bots := a.Bots
+	if bots <= 0 {
+		bots = 300
+	}
+	mxHosts := a.MXHosts
+	if mxHosts <= 0 {
+		mxHosts = 50
+	}
+	per := a.FlowsPerBot
+	if per <= 0 {
+		per = 8
+	}
+	for b := 0; b < bots; b++ {
+		src := randIPIn(rng, a.BotNet)
+		for i := 0; i < per; i++ {
+			mx := flow.IP(uint32(a.MXNet.Addr) + uint32(rng.Intn(mxHosts)) + 1)
+			pkts := uint64(6 + rng.Intn(20))
+			r := flow.Record{
+				Start: startIn(rng, iv), Dur: uint32(rng.Exp(4000)),
+				SrcIP: src, DstIP: mx,
+				SrcPort: uint16(1024 + rng.Intn(64511)), DstPort: 25,
+				Proto: flow.ProtoTCP, Flags: flow.TCPSyn | flow.TCPAck | flow.TCPPsh | flow.TCPFin,
+				Router: a.Router, Anno: anno,
+				Packets: pkts, Bytes: pkts * uint64(200+rng.Intn(800)),
+			}
+			if err := emit(&r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,19 +1,3 @@
-// Package gen generates the synthetic labeled NetFlow traces that stand in
-// for the proprietary GEANT and SWITCH traces of the paper's evaluation
-// (see the trace-generation row of DESIGN.md §1 for the substitution
-// argument).
-//
-// A Scenario combines a Background traffic model — Zipf-popular hosts and
-// services, heavy-tailed (Pareto) flow sizes, Poisson per-bin flow counts,
-// optional diurnal modulation, traffic spread over the configured
-// points-of-presence — with anomaly Placements: injectors for the anomaly
-// classes the paper's evaluations cover (port scans, network scans, TCP
-// SYN DDoS, point-to-point UDP floods, flash events, and deliberately
-// stealthy variants). Every injected record carries a ground-truth
-// Annotation, which real traces lack and which the evaluation harness
-// scores extraction against.
-//
-// Everything is deterministic under an explicit seed.
 package gen
 
 import (

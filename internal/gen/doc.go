@@ -1,0 +1,27 @@
+// Package gen generates the synthetic labeled NetFlow traces that stand in
+// for the proprietary GEANT and SWITCH traces of the paper's evaluation
+// (see the trace-generation row of DESIGN.md §1 for the substitution
+// argument).
+//
+// A Scenario combines a Background traffic model — Zipf-popular hosts and
+// services, heavy-tailed (Pareto) flow sizes, Poisson per-bin flow counts,
+// optional diurnal modulation, traffic spread over the configured
+// points-of-presence — with anomaly Placements: injectors for the anomaly
+// classes the paper's evaluations cover (port scans, network scans, TCP
+// SYN DDoS, point-to-point UDP floods, flash events, and deliberately
+// stealthy variants) plus the extended catalog classes (DNS/NTP
+// reflection-amplification DDoS, ICMP floods, coordinated botnet scans,
+// link outages / traffic blackouts, routing shifts and spam campaigns).
+// Every injected record carries a ground-truth Annotation, which real
+// traces lack, and every Anomaly declares its root-cause Signature — the
+// Table-1-style itemset an ideal extraction reports — which the
+// evaluation harness scores ranked results against. Anomalies that
+// remove traffic instead of adding it (link outages) implement
+// BackgroundSuppressor and drop matching background records from their
+// bin.
+//
+// The scenario catalog (Register/Lookup/Catalog) names composable,
+// seeded scenario definitions; docs/scenarios.md documents every entry
+// and DESIGN.md §7 specifies the determinism contract. Everything is
+// deterministic under an explicit seed.
+package gen

@@ -41,12 +41,18 @@ type TruthEntry struct {
 	Kind     detector.Kind
 	Describe string
 	Interval flow.Interval
+	// Signature is the anomaly's expected root-cause itemset (the
+	// Table-1-style conjunction an ideal extraction reports).
+	Signature []ExpectedItem
 	// Injected counts the anomaly's records before sampling; Stored after
 	// sampling (what the store and therefore the miner can see).
 	InjectedFlows uint64
 	InjectedPkts  uint64
 	StoredFlows   uint64
 	StoredPkts    uint64
+	// SuppressedFlows counts background records a BackgroundSuppressor
+	// anomaly (link outage, blackout) removed from its bin.
+	SuppressedFlows uint64
 }
 
 // Truth is the scenario ground truth: one entry per placement, in
@@ -119,27 +125,59 @@ func (s *Scenario) Generate(store *nfstore.Store) (*Truth, error) {
 		return store.Add(r)
 	}
 
+	// Truth entries are created up front so subtractive anomalies
+	// (BackgroundSuppressor) can count their drops while the background is
+	// generated.
+	for i, p := range s.Placements {
+		iv := flow.Interval{Start: start + uint32(p.Bin)*binSec, End: start + uint32(p.Bin+1)*binSec}
+		truth.Entries = append(truth.Entries, TruthEntry{
+			Anno:      flow.Annotation(i + 1),
+			Kind:      p.Anomaly.Kind(),
+			Describe:  p.Anomaly.Describe(),
+			Interval:  iv,
+			Signature: p.Anomaly.Signature(),
+		})
+	}
+
+	// Per-bin suppressors: placements that remove background traffic from
+	// their bin (link outages, blackouts).
+	type suppressor struct {
+		entry *TruthEntry
+		s     BackgroundSuppressor
+	}
+	suppressorsIn := make(map[int][]suppressor)
+	for i, p := range s.Placements {
+		if bs, ok := p.Anomaly.(BackgroundSuppressor); ok {
+			suppressorsIn[p.Bin] = append(suppressorsIn[p.Bin], suppressor{&truth.Entries[i], bs})
+		}
+	}
+
 	bg := newBackgroundGen(s.Background)
 	for b := 0; b < s.Bins; b++ {
 		iv := flow.Interval{Start: start + uint32(b)*binSec, End: start + uint32(b+1)*binSec}
+		binEmit := emit
+		if sups := suppressorsIn[b]; len(sups) > 0 {
+			binEmit = func(r *flow.Record) error {
+				for _, sup := range sups {
+					if sup.s.SuppressBackground(r) {
+						sup.entry.SuppressedFlows++
+						return nil
+					}
+				}
+				return emit(r)
+			}
+		}
 		for pop := 0; pop < s.Background.NumPoPs; pop++ {
 			storedFlows, storedPkts = &truth.BackgroundFlows, new(uint64)
 			binRng := rng.Fork(uint64(b)<<16 | uint64(pop))
-			if err := bg.emitBin(binRng, iv, pop, b, emit); err != nil {
+			if err := bg.emitBin(binRng, iv, pop, b, binEmit); err != nil {
 				return nil, err
 			}
 		}
 	}
 
 	for i, p := range s.Placements {
-		anno := flow.Annotation(i + 1)
-		iv := flow.Interval{Start: start + uint32(p.Bin)*binSec, End: start + uint32(p.Bin+1)*binSec}
-		entry := TruthEntry{
-			Anno:     anno,
-			Kind:     p.Anomaly.Kind(),
-			Describe: p.Anomaly.Describe(),
-			Interval: iv,
-		}
+		entry := &truth.Entries[i]
 		storedFlows, storedPkts = &entry.StoredFlows, &entry.StoredPkts
 		countingEmit := func(r *flow.Record) error {
 			entry.InjectedFlows++
@@ -147,10 +185,9 @@ func (s *Scenario) Generate(store *nfstore.Store) (*Truth, error) {
 			return emit(r)
 		}
 		anomalyRng := rng.Fork(0xa0000 | uint64(i))
-		if err := p.Anomaly.Emit(anomalyRng, iv, anno, countingEmit); err != nil {
+		if err := p.Anomaly.Emit(anomalyRng, entry.Interval, entry.Anno, countingEmit); err != nil {
 			return nil, err
 		}
-		truth.Entries = append(truth.Entries, entry)
 	}
 	if err := store.Flush(); err != nil {
 		return nil, err

@@ -1,0 +1,16 @@
+// Package histogram implements the histogram-based traffic anomaly
+// detector of Kind, Stoecklin & Dimitropoulos ("Histogram-based traffic
+// anomaly detection", IEEE TNSM 2009) — the detector the paper's first
+// evaluation (SWITCH, unsampled traces, IMC'09) pairs with Apriori.
+//
+// Per measurement bin and per traffic feature the detector builds a
+// histogram of the feature's value distribution over hashed bins, tracks
+// an exponentially weighted reference histogram, and raises an alarm when
+// the Kullback-Leibler distance between the current histogram and the
+// reference exceeds an adaptive threshold (mean + k·stddev of the trailing
+// KL series). Alarm meta-data comes from histogram bins contributing most
+// to the divergence: the detector maps those bins back to the concrete
+// feature values (addresses, ports) that dominate them, which is exactly
+// the "initial, but possibly incomplete, meta-data" the extraction step
+// starts from.
+package histogram

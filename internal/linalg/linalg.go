@@ -1,8 +1,3 @@
-// Package linalg provides the small dense linear algebra kernel the PCA
-// subspace detector needs: row-major matrices, column statistics,
-// covariance, and a cyclic-Jacobi eigendecomposition for symmetric
-// matrices. Stdlib-only by project constraint; the matrix sizes involved
-// (tens of columns — PoPs × features) keep Jacobi comfortably fast.
 package linalg
 
 import (

@@ -1,16 +1,3 @@
-// Package miner defines the pluggable frequent-itemset-mining seam of the
-// extraction engine: a Miner interface over flow-transaction datasets and
-// a named factory registry mirroring internal/detector.
-//
-// The paper's system mines with Apriori; FP-Growth (Han, Pei & Yin,
-// SIGMOD'00) is the natural alternative on dense transaction databases.
-// Both built-ins self-register from their packages' init functions under
-// the names "apriori" and "fpgrowth", and both are pinned — by property
-// tests over random weighted datasets — to emit byte-identical canonical
-// results, so the extraction engine can swap miners without changing a
-// single reported itemset. External miners plug in through Register and
-// become selectable everywhere a miner name is accepted: core.Options,
-// rootcause.WithMiner, the -miner CLI flags, and rcad's HTTP API.
 package miner
 
 import (

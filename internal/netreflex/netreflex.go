@@ -1,24 +1,3 @@
-// Package netreflex simulates the commercial anomaly detection system of
-// the paper's GEANT deployment (NetReflex by Guavus). The paper describes
-// it as a detector "based on a well-known anomaly detector [Lakhina'05]
-// using Principal Component Analysis" that flags anomalies "on the basis
-// of volume and IP features entropy variations" and "provides fine-grained
-// meta-data often at the level of individual IPs and port numbers".
-//
-// Accordingly, this package wraps the PCA subspace detector
-// (internal/pca) and adds the two behaviours the paper attributes to
-// NetReflex:
-//
-//   - classification: each alarm is labeled port scan / network scan /
-//     (D)DoS / UDP flood by inspecting the structure of the flows in the
-//     flagged interval; and
-//
-//   - fine-grained but DELIBERATELY NARROW meta-data: only the single
-//     dominant traffic signature is reported (e.g. one scanner's srcIP,
-//     dstIP and srcPort). The paper's Table 1 and its 26-28% statistics
-//     hinge on exactly this behaviour — a concurrent second scanner or
-//     DDoS on the same target is NOT included in the meta-data, and it is
-//     the frequent-itemset extraction step that recovers it.
 package netreflex
 
 import (

@@ -1,0 +1,12 @@
+// Package nffilter implements the nfdump-style flow filter language used by
+// the store and the extraction GUI: expressions such as
+//
+//	src ip 10.191.64.165 and dst port 80
+//	(proto udp and packets > 1000000) or dst net 10.13.0.0/16
+//	not flags S
+//
+// are parsed into an AST and compiled into predicates over flow records.
+// The paper's system is backed by NfDump; this package is its query-language
+// substitute, and it is also how extracted itemsets are turned back into
+// flow drill-down queries for the operator.
+package nffilter

@@ -1,0 +1,8 @@
+// Package nfstore is the repository's NfDump substitute: a time-binned,
+// append-only store of flow records in fixed-layout binary segment files.
+// The paper's extraction system keeps its flow archive in NfDump and
+// queries it per alarm interval with a filter expression; this package
+// provides exactly that contract (plus the top-N aggregations the GUI
+// shows), with one segment file per measurement bin, so an alarm's
+// interval maps to a handful of sequential file scans.
+package nfstore

@@ -1,21 +1,3 @@
-// Package pca implements the PCA subspace anomaly detector of Lakhina,
-// Crovella & Diot ("Mining anomalies using traffic feature distributions",
-// SIGCOMM 2005) — the published method underlying NetReflex, the
-// commercial detector of the paper's GEANT deployment, which the paper
-// describes as detecting "on the basis of volume and IP features entropy
-// variations [4]".
-//
-// Per measurement bin and per ingress point-of-presence the detector
-// computes the normalized entropy of the four traffic feature
-// distributions plus (optionally) volume counters, assembling the
-// bins × (PoPs·channels) measurement matrix. PCA on the standardized
-// matrix splits the space into a principal (normal) subspace and a
-// residual subspace; a bin whose squared prediction error in the residual
-// subspace exceeds the Jackson-Mudholkar Q-statistic threshold is flagged,
-// and the columns dominating the residual identify the PoP and traffic
-// feature involved. Meta-data then comes from drilling into the store:
-// the concrete feature values whose share of traffic grew most against
-// the preceding clean bin.
 package pca
 
 import (

@@ -1,6 +1,3 @@
-// Package report renders aligned ASCII and markdown tables — the output
-// format of the extraction CLI, the experiment harness and the benchmark
-// reports (mirroring the row/column shape of the paper's Table 1).
 package report
 
 import (

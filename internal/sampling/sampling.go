@@ -1,16 +1,3 @@
-// Package sampling models random packet sampling as deployed on the GEANT
-// routers the paper evaluates on (Sampled NetFlow, 1-in-100).
-//
-// Sampling operates on packets, not flows: each packet of a flow survives
-// independently with probability 1/N, so a flow record with p packets
-// yields Binomial(p, 1/N) sampled packets and disappears entirely when the
-// draw is zero. Surviving records are renormalized by the inverse sampling
-// probability (the standard Horvitz-Thompson estimator NetFlow collectors
-// apply), which restores volume totals in expectation but cannot restore
-// the flows that vanished — precisely the distortion that motivates the
-// paper's packet-based itemset support: a point-to-point UDP flood keeps
-// its enormous packet count under sampling even though it contributes
-// almost no flow records.
 package sampling
 
 import (

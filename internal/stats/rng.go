@@ -1,14 +1,3 @@
-// Package stats provides the deterministic random sampling and
-// distribution/entropy machinery shared by the trace generator and the
-// anomaly detectors: a seedable RNG with independent substreams, bounded
-// Zipf and Pareto samplers (heavy-tailed backbone traffic), empirical
-// distributions, Shannon entropy and Kullback-Leibler divergence, and
-// streaming moment estimators.
-//
-// Everything here is purposely deterministic: the paper's evaluation is
-// re-run as a benchmark suite, and bit-for-bit reproducibility of the
-// synthetic GEANT/SWITCH stand-in traces is what makes the reported
-// numbers auditable.
 package stats
 
 import "math"

@@ -1,0 +1,27 @@
+#!/bin/sh
+# mdlinkcheck verifies that every relative markdown link in the
+# repository resolves to an existing file or directory. External URLs,
+# mailto links and pure in-page anchors are skipped. Run from the repo
+# root; exits non-zero listing every broken link.
+set -u
+
+status=0
+for f in $(find . -name '*.md' -not -path './.git/*'); do
+	dir=$(dirname "$f")
+	links=$(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//' || true)
+	for link in $links; do
+		case "$link" in
+		http://* | https://* | mailto:* | \#*) continue ;;
+		esac
+		target="${link%%#*}"
+		[ -z "$target" ] && continue
+		if [ ! -e "$dir/$target" ]; then
+			echo "$f: broken link: $link" >&2
+			status=1
+		fi
+	done
+done
+if [ "$status" -eq 0 ]; then
+	echo "mdlinkcheck: all relative links resolve"
+fi
+exit $status
