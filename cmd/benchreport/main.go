@@ -43,6 +43,8 @@ func main() {
 		miners    = flag.String("miners", "", "eval: comma-separated miner registry names (default: all)")
 		sync      = flag.Bool("sync", false, "eval: extract via the synchronous API instead of the job manager")
 		quick     = flag.Bool("quick", false, "eval: reduced matrix for CI smoke runs")
+		incidents = flag.Bool("incidents", false,
+			"eval: also run the incident-mode column (alarm storm -> dedup + correlation -> one job per incident)")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), `usage: benchreport [flags]
@@ -73,6 +75,7 @@ Flags:
 		jsonPath: *jsonPath, mdPath: *mdPath,
 		scenarios: splitCSV(*scenarios), detectors: splitCSV(*detectors),
 		miners: splitCSV(*miners), sync: *sync, quick: *quick,
+		incidents: *incidents,
 	}
 	if err := run(*exp, *seed, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -84,7 +87,7 @@ Flags:
 type evalFlags struct {
 	jsonPath, mdPath             string
 	scenarios, detectors, miners []string
-	sync, quick                  bool
+	sync, quick, incidents       bool
 }
 
 func splitCSV(s string) []string {
@@ -274,6 +277,7 @@ func runEval(workDir string, seed uint64, cfg evalFlags) error {
 		Seed:      seed,
 		WorkDir:   workDir + "/matrix",
 		UseJobs:   !cfg.sync,
+		Incidents: cfg.incidents,
 	}
 	if cfg.quick {
 		if pipeCfg.Scenarios == nil {
@@ -306,6 +310,27 @@ func runEval(workDir string, seed uint64, cfg evalFlags) error {
 		} else if !c.Pass {
 			fmt.Printf("FAIL  %s/%s/%s: useful=%v rank=%d\n",
 				c.Scenario, c.Detector, c.Miner, c.Useful, c.RankOfTrueCause)
+		}
+	}
+
+	if len(rep.Incidents) > 0 {
+		fmt.Println("\nincident mode (storm -> dedup + correlation -> one job per incident):")
+		it := report.New("", "scenario", "alarms", "incidents", "reduction", "jobs", "recall", "worst rank", "chain", "pass")
+		for _, s := range rep.Incidents {
+			chain := "-"
+			if s.Composite {
+				chain = fmt.Sprintf("%v", s.ChainOK)
+			}
+			it.AddRow(s.Scenario, fmt.Sprintf("%d", s.AlarmsIn), fmt.Sprintf("%d", s.Incidents),
+				fmt.Sprintf("%.1fx", s.Reduction), fmt.Sprintf("%d", s.Jobs),
+				fmt.Sprintf("%.2f", s.Recall), fmt.Sprintf("%d", s.WorstRank),
+				chain, fmt.Sprintf("%v", s.Pass))
+		}
+		fmt.Print(it.String())
+		for _, s := range rep.Incidents {
+			if s.Error != "" {
+				fmt.Printf("ERROR %s (incident mode): %s\n", s.Scenario, s.Error)
+			}
 		}
 	}
 

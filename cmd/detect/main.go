@@ -26,6 +26,8 @@ func main() {
 		dbPath   = flag.String("alarmdb", "", "alarm database JSON path (default: <store>/alarms.json)")
 		from     = flag.Uint("from", 0, "span start, unix seconds (0 = store start)")
 		to       = flag.Uint("to", 0, "span end, unix seconds (0 = store end)")
+		corr     = flag.Bool("correlate", false,
+			"after detection, dedup + correlate the stored alarms into incidents and print them")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), `usage: detect -store DIR [flags]
@@ -38,8 +40,13 @@ Registered detectors: netreflex (default), histogram, pca.
 Registered miners (-miner, for the extraction engine the system
 assembles): apriori (default), fpgrowth.
 
+With -correlate, the stored alarms of the span are additionally
+deduplicated and clustered into incidents (docs/incidents.md) and each
+incident is printed with its lead-lag chain; extract them with
+extract -incident ID.
+
 Example:
-  detect -store /tmp/flows -detector netreflex
+  detect -store /tmp/flows -detector netreflex -correlate
 
 Flags:
 `)
@@ -54,13 +61,13 @@ Flags:
 	if *dbPath == "" {
 		*dbPath = *storeDir + "/alarms.json"
 	}
-	if err := run(*storeDir, *detName, *minerStr, *dbPath, uint32(*from), uint32(*to)); err != nil {
+	if err := run(*storeDir, *detName, *minerStr, *dbPath, uint32(*from), uint32(*to), *corr); err != nil {
 		fmt.Fprintln(os.Stderr, "detect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(storeDir, detName, minerName, dbPath string, from, to uint32) error {
+func run(storeDir, detName, minerName, dbPath string, from, to uint32, correlate bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	cfg := rootcause.Config{StoreDir: storeDir, AlarmDBPath: dbPath}
@@ -103,6 +110,28 @@ func run(storeDir, detName, minerName, dbPath string, from, to uint32) error {
 			return err
 		}
 		fmt.Printf("  alarm %s: %s\n", id, entry.Alarm.String())
+	}
+	if !correlate {
+		return nil
+	}
+
+	sum, err := sys.Correlate(ctx, span)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("correlated %d alarm(s) (%d after dedup) into %d incident(s)\n",
+		sum.AlarmsConsidered, sum.AlarmsKept, len(sum.IncidentIDs))
+	for _, id := range sum.IncidentIDs {
+		entry, err := sys.Incident(id)
+		if err != nil {
+			return err
+		}
+		inc := entry.Incident
+		fmt.Printf("  incident %s [%s]: %d alarm(s), %d suppressed, kinds %v\n",
+			inc.ID, inc.Interval, len(inc.AlarmIDs), inc.Suppressed, inc.Kinds)
+		for _, link := range inc.Chain {
+			fmt.Printf("    chain: %s\n", link.String())
+		}
 	}
 	return nil
 }

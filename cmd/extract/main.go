@@ -6,6 +6,7 @@
 // Usage:
 //
 //	extract -store /tmp/flows -alarmdb /tmp/alarms.json -id 3
+//	extract -store /tmp/flows -incident i1
 //	extract -store /tmp/flows -from 1300000800 -to 1300001100 \
 //	        -meta "srcIP=10.191.64.165,dstPort=80"
 package main
@@ -28,6 +29,7 @@ func main() {
 		storeDir  = flag.String("store", "", "flow store directory (required)")
 		dbPath    = flag.String("alarmdb", "", "alarm database JSON path")
 		alarmID   = flag.String("id", "", "stored alarm ID to extract")
+		incID     = flag.String("incident", "", "stored incident ID to extract (one merged run over its members)")
 		from      = flag.Uint("from", 0, "ad-hoc alarm interval start (unix seconds)")
 		to        = flag.Uint("to", 0, "ad-hoc alarm interval end (unix seconds)")
 		meta      = flag.String("meta", "", "ad-hoc meta-data: comma-separated feature=value pairs")
@@ -43,11 +45,15 @@ func main() {
 		wait      = flag.Bool("wait", true, "with -async: wait for the job (false: submit, print status, exit)")
 	)
 	flag.Usage = func() {
-		fmt.Fprint(flag.CommandLine.Output(), `usage: extract -store DIR (-id ALARM | -from UNIX -to UNIX [-meta ITEMS]) [flags]
+		fmt.Fprint(flag.CommandLine.Output(), `usage: extract -store DIR (-id ALARM | -incident ID | -from UNIX -to UNIX [-meta ITEMS]) [flags]
 
 Run the paper's extended-Apriori anomaly extraction for one stored alarm
 (or an ad-hoc interval) and print the ranked itemsets in the shape of
 the paper's Table 1.
+
+-incident extracts a correlated incident (see detect -correlate and
+docs/incidents.md) instead: its member alarms merge into ONE mining run
+over the incident's full interval, and every member is marked analyzed.
 
 Ad-hoc meta-data (-meta) is a comma-separated feature=value list over
 srcIP, dstIP, srcPort, dstPort, proto.
@@ -65,6 +71,7 @@ Examples:
   extract -store /tmp/flows -alarmdb /tmp/flows/alarms.json -id 1
   extract -store /tmp/flows -id 1 -miner fpgrowth
   extract -store /tmp/flows -id 1 -async
+  extract -store /tmp/flows -incident i1
   extract -store /tmp/flows -from 1300000800 -to 1300001100 \
           -meta "srcIP=10.191.64.165,dstPort=80"
 
@@ -100,13 +107,13 @@ Flags:
 	if *flowOnly {
 		opts.PacketCoverageMin = 0
 	}
-	if err := run(*storeDir, *dbPath, *alarmID, uint32(*from), uint32(*to), *meta, opts, *showFlows, *async, *wait); err != nil {
+	if err := run(*storeDir, *dbPath, *alarmID, *incID, uint32(*from), uint32(*to), *meta, opts, *showFlows, *async, *wait); err != nil {
 		fmt.Fprintln(os.Stderr, "extract:", err)
 		os.Exit(1)
 	}
 }
 
-func run(storeDir, dbPath, alarmID string, from, to uint32, metaExpr string,
+func run(storeDir, dbPath, alarmID, incidentID string, from, to uint32, metaExpr string,
 	opts rootcause.ExtractionOptions, showFlows int, async, wait bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -120,8 +127,15 @@ func run(storeDir, dbPath, alarmID string, from, to uint32, metaExpr string,
 
 	var res *rootcause.Result
 	switch {
+	case incidentID != "" && async:
+		res, err = runJob(ctx, sys, rootcause.JobRequest{IncidentID: incidentID}, wait)
+		if err != nil || res == nil {
+			return err
+		}
+	case incidentID != "":
+		res, err = sys.ExtractIncident(ctx, incidentID)
 	case alarmID != "" && async:
-		res, err = runJob(ctx, sys, alarmID, wait)
+		res, err = runJob(ctx, sys, rootcause.JobRequest{AlarmID: alarmID}, wait)
 		if err != nil || res == nil {
 			return err
 		}
@@ -140,7 +154,7 @@ func run(storeDir, dbPath, alarmID string, from, to uint32, metaExpr string,
 		if async {
 			// An ad-hoc alarm is filed first — jobs run against stored
 			// alarms so the result stays fetchable by ID.
-			res, err = runJob(ctx, sys, sys.FileAlarm(alarm), wait)
+			res, err = runJob(ctx, sys, rootcause.JobRequest{AlarmID: sys.FileAlarm(alarm)}, wait)
 			if err != nil || res == nil {
 				return err
 			}
@@ -148,7 +162,7 @@ func run(storeDir, dbPath, alarmID string, from, to uint32, metaExpr string,
 			res, err = sys.ExtractAlarm(ctx, &alarm)
 		}
 	default:
-		return fmt.Errorf("need -id, or -from and -to")
+		return fmt.Errorf("need -id, -incident, or -from and -to")
 	}
 	if err != nil {
 		return err
@@ -179,13 +193,14 @@ func run(storeDir, dbPath, alarmID string, from, to uint32, metaExpr string,
 	return nil
 }
 
-// runJob submits one extraction to the in-process job manager and, when
-// wait is set, follows its progress to completion. With wait=false it
-// prints the submitted job's status and returns a nil result (the
-// process exit cancels the job — submission without waiting is for
-// demonstrating the API surface; a long-lived rcad serves it for real).
-func runJob(ctx context.Context, sys *rootcause.System, alarmID string, wait bool) (*rootcause.Result, error) {
-	jobID, err := sys.Submit(rootcause.JobRequest{AlarmID: alarmID},
+// runJob submits one extraction (alarm or incident) to the in-process
+// job manager and, when wait is set, follows its progress to
+// completion. With wait=false it prints the submitted job's status and
+// returns a nil result (the process exit cancels the job — submission
+// without waiting is for demonstrating the API surface; a long-lived
+// rcad serves it for real).
+func runJob(ctx context.Context, sys *rootcause.System, req rootcause.JobRequest, wait bool) (*rootcause.Result, error) {
+	jobID, err := sys.Submit(req,
 		rootcause.WithProgress(func(p rootcause.ExtractionProgress) {
 			fmt.Fprintf(os.Stderr, "progress: phase=%s", p.Phase)
 			if p.TuningRound > 0 {

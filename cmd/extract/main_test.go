@@ -83,6 +83,46 @@ func newExtractStore(t *testing.T) (string, uint32, uint32) {
 	return dir, iv.Start, iv.End
 }
 
+// TestRunIncident drives -incident: a filed alarm is correlated into
+// an incident, then extracted by incident ID (sync and async).
+func TestRunIncident(t *testing.T) {
+	storeDir, from, to := newExtractStore(t)
+	dbPath := storeDir + "/alarms.json"
+	sys, err := rootcause.Open(rootcause.Config{StoreDir: storeDir, AlarmDBPath: dbPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaItems, err := parseMeta("srcIP=10.9.9.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.FileAlarm(rootcause.Alarm{
+		Detector: "cli",
+		Interval: flow.Interval{Start: from, End: to},
+		Meta:     metaItems,
+	})
+	sum, err := sys.Correlate(t.Context(), flow.Interval{Start: from, End: to})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.IncidentIDs) != 1 {
+		t.Fatalf("incidents = %v", sum.IncidentIDs)
+	}
+	incID := sum.IncidentIDs[0]
+	sys.Close()
+
+	opts := rootcause.DefaultExtractionOptions()
+	if err := run(storeDir, dbPath, "", incID, 0, 0, "", opts, 0, false, true); err != nil {
+		t.Fatalf("sync incident run: %v", err)
+	}
+	if err := run(storeDir, dbPath, "", incID, 0, 0, "", opts, 0, true, true); err != nil {
+		t.Fatalf("async incident run: %v", err)
+	}
+	if err := run(storeDir, dbPath, "", "i404", 0, 0, "", opts, 0, false, true); err == nil {
+		t.Fatal("unknown incident must be reported")
+	}
+}
+
 // TestRunEndToEndWithMiner drives the extract command's run path with
 // each built-in miner, including -miner fpgrowth.
 func TestRunEndToEndWithMiner(t *testing.T) {
@@ -92,7 +132,7 @@ func TestRunEndToEndWithMiner(t *testing.T) {
 		if name != "" {
 			opts.Miner = name
 		}
-		if err := run(storeDir, "", "", from, to, "srcIP=10.9.9.9", opts, 2, false, true); err != nil {
+		if err := run(storeDir, "", "", "", from, to, "srcIP=10.9.9.9", opts, 2, false, true); err != nil {
 			t.Fatalf("miner %q: %v", name, err)
 		}
 	}
@@ -104,7 +144,7 @@ func TestRunEndToEndWithMiner(t *testing.T) {
 func TestRunAsync(t *testing.T) {
 	storeDir, from, to := newExtractStore(t)
 	opts := rootcause.DefaultExtractionOptions()
-	if err := run(storeDir, "", "", from, to, "srcIP=10.9.9.9", opts, 0, true, true); err != nil {
+	if err := run(storeDir, "", "", "", from, to, "srcIP=10.9.9.9", opts, 0, true, true); err != nil {
 		t.Fatalf("async run: %v", err)
 	}
 }
@@ -114,7 +154,7 @@ func TestRunAsync(t *testing.T) {
 func TestRunAsyncNoWait(t *testing.T) {
 	storeDir, from, to := newExtractStore(t)
 	opts := rootcause.DefaultExtractionOptions()
-	if err := run(storeDir, "", "", from, to, "", opts, 0, true, false); err != nil {
+	if err := run(storeDir, "", "", "", from, to, "", opts, 0, true, false); err != nil {
 		t.Fatalf("async no-wait run: %v", err)
 	}
 }
@@ -125,7 +165,7 @@ func TestRunUnknownMinerRejected(t *testing.T) {
 	storeDir, from, to := newExtractStore(t)
 	opts := rootcause.DefaultExtractionOptions()
 	opts.Miner = "frobnicator"
-	if err := run(storeDir, "", "", from, to, "", opts, 0, false, true); err == nil {
+	if err := run(storeDir, "", "", "", from, to, "", opts, 0, false, true); err == nil {
 		t.Fatal("unknown miner must be rejected")
 	}
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	rootcause "repro"
+	"repro/internal/alarmdb"
+	"repro/internal/flow"
+)
+
+// handleCorrelate runs alarm dedup + temporal correlation over the
+// stored alarms of a span and stores the resulting incidents. The body
+// is optional; zero fields inherit the incident-layer defaults:
+//
+//	{"from":UNIX,"to":UNIX,"dedup_window":300,"cluster_gap":600,
+//	 "min_confidence":0.5}
+//
+// Correlation is idempotent — re-posting the same span returns the same
+// incident IDs.
+func (s *server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		From          uint32  `json:"from"`
+		To            uint32  `json:"to"`
+		DedupWindow   uint32  `json:"dedup_window"`
+		ClusterGap    uint32  `json:"cluster_gap"`
+		MinConfidence float64 `json:"min_confidence"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
+		return
+	}
+	span := flow.Interval{Start: body.From, End: body.To}
+	if body.To == 0 {
+		span.End = ^uint32(0)
+	}
+	var opts []rootcause.Option
+	if body.DedupWindow > 0 {
+		opts = append(opts, rootcause.WithDedupWindow(body.DedupWindow))
+	}
+	if body.ClusterGap > 0 {
+		opts = append(opts, rootcause.WithClusterGap(body.ClusterGap))
+	}
+	if body.MinConfidence > 0 {
+		opts = append(opts, rootcause.WithLeadLagConfidence(body.MinConfidence))
+	}
+	sum, err := s.sys.Correlate(r.Context(), span, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+// handleIncidents lists stored incidents overlapping ?from&to (defaults
+// to everything), every lifecycle status, in time order.
+func (s *server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	span, err := parseSpan(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"incidents": s.sys.Incidents(span),
+	})
+}
+
+// handleIncident returns one incident with its member alarms. The
+// lead-lag chain rides inside the incident record; members are full
+// alarm entries so the operator sees each alarm's workflow status.
+func (s *server) handleIncident(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	entry, err := s.sys.Incident(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	members, err := s.sys.IncidentAlarms(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"incident": entry,
+		"members":  members,
+	})
+}
+
+// handleIncidentExtract submits the ONE extraction job of an incident
+// (its members merged into a single mining run) and answers 202 with
+// the queued job, exactly like POST /api/v1/jobs. The optional body
+// selects the miner: {"miner":"fpgrowth"}.
+func (s *server) handleIncidentExtract(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var body struct {
+		Miner string `json:"miner"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
+		return
+	}
+	opts, err := minerOption(body.Miner)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Reject unknown incidents before queueing a job doomed to fail.
+	if _, err := s.sys.Incident(id); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, alarmdb.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	jobID, err := s.sys.Submit(rootcause.JobRequest{IncidentID: id}, opts...)
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	st, err := s.sys.Job(jobID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": st})
+}

@@ -13,11 +13,22 @@
 //
 //	POST   /api/v1/jobs             body: {"alarm_id":"1","miner":"fpgrowth"}
 //	                                  or: {"alarm_ids":["1","2"],"concurrency":4}
+//	                                  or: {"incident_id":"i1"}
 //	GET    /api/v1/jobs             list jobs (queued, running, retained)
 //	GET    /api/v1/jobs/{id}        status + live progress
 //	DELETE /api/v1/jobs/{id}        cancel (queued or running)
 //	GET    /api/v1/jobs/{id}/result final result of a finished job
 //	GET    /api/v1/jobs/{id}/events SSE stream of status/progress events
+//
+// Incident API (alarm dedup + temporal correlation, docs/incidents.md):
+//
+//	POST /api/v1/correlate               optional body: {"from":U,"to":U,
+//	                                     "dedup_window":300,"cluster_gap":600,
+//	                                     "min_confidence":0.5}
+//	GET  /api/v1/incidents?from=U&to=U   list stored incidents
+//	GET  /api/v1/incidents/{id}          one incident + member alarms + chain
+//	POST /api/v1/incidents/{id}/extract  submit the incident's ONE extraction
+//	                                     job (202 + job status)
 //
 // Submissions are admission-controlled: a full job queue answers 429
 // (with Retry-After) instead of stacking blocked connections.
@@ -98,6 +109,7 @@ endpoints wrap the same job manager.
 Job API (versioned):
   POST   /api/v1/jobs             {"alarm_id":"1","miner":"fpgrowth"}
                                   or {"alarm_ids":["1","2"],"concurrency":4}
+                                  or {"incident_id":"i1"}
                                   202 on admit, 429 + Retry-After when the
                                   queue is full
   GET    /api/v1/jobs             list jobs (queued, running, retained)
@@ -105,6 +117,13 @@ Job API (versioned):
   DELETE /api/v1/jobs/{id}        cancel (queued or running)
   GET    /api/v1/jobs/{id}/result final result (409 while unfinished)
   GET    /api/v1/jobs/{id}/events SSE stream of status/progress events
+
+Incident API (alarm dedup + temporal correlation):
+  POST /api/v1/correlate              optional {"from":U,"to":U,"dedup_window":300,
+                                      "cluster_gap":600,"min_confidence":0.5}
+  GET  /api/v1/incidents?from=U&to=U  list stored incidents
+  GET  /api/v1/incidents/{id}         one incident + member alarms + chain
+  POST /api/v1/incidents/{id}/extract submit the incident's ONE extraction job
 
 Legacy endpoints (synchronous wrappers over the job manager):
   GET  /api/health                (query_stats, job counts, event streams)
@@ -221,6 +240,11 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleJobEvents)
+
+	mux.HandleFunc("POST /api/v1/correlate", s.handleCorrelate)
+	mux.HandleFunc("GET /api/v1/incidents", s.handleIncidents)
+	mux.HandleFunc("GET /api/v1/incidents/{id}", s.handleIncident)
+	mux.HandleFunc("POST /api/v1/incidents/{id}/extract", s.handleIncidentExtract)
 	// Legacy surface (extraction endpoints wrap the job manager).
 	mux.HandleFunc("GET /api/health", s.handleHealth)
 	mux.HandleFunc("GET /api/detectors", s.handleDetectors)
@@ -289,6 +313,7 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"has_data":      ok,
 		"query_stats":   s.sys.QueryStats(),
 		"jobs":          jobsByState,
+		"incidents":     s.sys.IncidentCounts(),
 		"event_streams": s.sseStreams.Load(),
 	})
 }
@@ -593,7 +618,8 @@ func (s *server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobSubmit admits an extraction job: {"alarm_id":"1"} for a
-// single extraction or {"alarm_ids":[...]} for a batch, both with
+// single extraction, {"alarm_ids":[...]} for a batch, or
+// {"incident_id":"i1"} to extract a correlated incident — all with
 // optional "miner" and batches with optional "concurrency". 202 with
 // the queued job's status on admit; 429 + Retry-After when the queue is
 // full.
@@ -601,6 +627,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		AlarmID     string   `json:"alarm_id"`
 		AlarmIDs    []string `json:"alarm_ids"`
+		IncidentID  string   `json:"incident_id"`
 		Miner       string   `json:"miner"`
 		Concurrency int      `json:"concurrency"`
 	}
@@ -617,8 +644,9 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, rootcause.WithConcurrency(body.Concurrency))
 	}
 	jobID, err := s.sys.Submit(rootcause.JobRequest{
-		AlarmID:  body.AlarmID,
-		AlarmIDs: body.AlarmIDs,
+		AlarmID:    body.AlarmID,
+		AlarmIDs:   body.AlarmIDs,
+		IncidentID: body.IncidentID,
 	}, opts...)
 	if err != nil {
 		submitError(w, err)

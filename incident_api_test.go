@@ -1,0 +1,208 @@
+package rootcause_test
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	rootcause "repro"
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/gen"
+)
+
+// fileStorm synthesizes the alarm storm one composite event raises: per
+// truth entry, every detector reports it several times with a little
+// start jitter. Returns the number of alarms filed.
+func fileStorm(sys *rootcause.System, truth *gen.Truth) int {
+	n := 0
+	for i := range truth.Entries {
+		base := eval.SynthesizeAlarm(&truth.Entries[i])
+		for _, det := range []string{"histogram", "netreflex", "pca"} {
+			for _, jitter := range []uint32{0, 40, 80, 120} {
+				a := base
+				a.Detector = det
+				a.Interval.Start += jitter // same dedup bucket: < window/2
+				sys.FileAlarm(a)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestIncidentLifecycle drives the incident layer end to end on the
+// catalog's portscan-ddos cascade: a 24-alarm storm correlates into one
+// incident whose single extraction recovers both causes, with the
+// lead-lag chain ordering the scan before the flood.
+func TestIncidentLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := rootcause.Create(rootcause.Config{
+		StoreDir:    filepath.Join(dir, "flows"),
+		AlarmDBPath: filepath.Join(dir, "alarms.json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	def, ok := gen.Lookup("portscan-ddos")
+	if !ok {
+		t.Fatal("portscan-ddos not in catalog")
+	}
+	sc := def.Scenario(42)
+	truth, err := sc.Generate(sys.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truth.Composite {
+		t.Fatal("portscan-ddos truth is not marked composite")
+	}
+	if truth.Entries[1].Interval.Start != truth.Entries[0].Interval.End {
+		t.Fatalf("cascade not staggered: %v then %v",
+			truth.Entries[0].Interval, truth.Entries[1].Interval)
+	}
+
+	stormSize := fileStorm(sys, truth)
+
+	// Correlate: the storm collapses into one incident — the >= 5x
+	// alarm-to-incident reduction the incident layer exists for.
+	sum, err := sys.Correlate(t.Context(), truth.Span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.AlarmsConsidered != stormSize {
+		t.Fatalf("considered %d alarms, want %d", sum.AlarmsConsidered, stormSize)
+	}
+	if len(sum.IncidentIDs) != 1 {
+		t.Fatalf("incidents = %v, want exactly one", sum.IncidentIDs)
+	}
+	if reduction := stormSize / len(sum.IncidentIDs); reduction < 5 {
+		t.Fatalf("reduction %dx < 5x", reduction)
+	}
+	incID := sum.IncidentIDs[0]
+
+	entry, err := sys.Incident(incID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Status != rootcause.IncidentOpen {
+		t.Fatalf("fresh incident status = %q", entry.Status)
+	}
+	if got := len(entry.Incident.AlarmIDs); got != stormSize {
+		t.Fatalf("incident holds %d member alarms, want %d", got, stormSize)
+	}
+	if !entry.Incident.Leads(detector.KindPortScan, detector.KindDDoS) {
+		t.Fatalf("lead-lag chain %v does not order the scan before the flood", entry.Incident.Chain)
+	}
+	members, err := sys.IncidentAlarms(incID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != stormSize {
+		t.Fatalf("IncidentAlarms returned %d, want %d", len(members), stormSize)
+	}
+
+	// Re-correlating is idempotent: same member set, same ID, no new
+	// incidents.
+	sum2, err := sys.Correlate(t.Context(), truth.Span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum2.IncidentIDs) != 1 || sum2.IncidentIDs[0] != incID {
+		t.Fatalf("re-correlation produced %v, want [%s]", sum2.IncidentIDs, incID)
+	}
+
+	// Parity: the incident path extracts exactly the merged alarm, so
+	// its result is byte-identical to a synchronous extraction of that
+	// alarm.
+	merged, err := sys.IncidentExtractionAlarm(incID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Interval.Start != truth.Entries[0].Interval.Start {
+		t.Fatalf("merged interval %v does not start at the scan bin", merged.Interval)
+	}
+	want, err := sys.ExtractAlarm(t.Context(), &merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.ExtractIncident(t.Context(), incID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if string(wantJSON) != string(gotJSON) {
+		t.Fatalf("incident extraction differs from extracting the merged alarm:\n%s\n%s", wantJSON, gotJSON)
+	}
+
+	// One correlated extraction recovers BOTH causes in the top ranks.
+	ts, err := eval.ScoreTruth(sys.Store(), merged.Interval, got, truth, eval.DefaultScoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ts.Entries {
+		if !e.Attributed || e.Rank > 3 {
+			t.Fatalf("cause %q not in top 3 (rank %d); itemsets:\n%s", e.Describe, e.Rank, got.Table())
+		}
+	}
+
+	// Lifecycle: incident extracted, untouched members analyzed.
+	entry, _ = sys.Incident(incID)
+	if entry.Status != rootcause.IncidentExtracted {
+		t.Fatalf("incident status after extraction = %q", entry.Status)
+	}
+	counts := sys.IncidentCounts()
+	if counts[rootcause.IncidentExtracted] != 1 || counts[rootcause.IncidentOpen] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+	members, _ = sys.IncidentAlarms(incID)
+	for _, m := range members {
+		if m.Status != "analyzed" || m.Note != "via incident "+incID {
+			t.Fatalf("member %s = (%s, %q)", m.Alarm.ID, m.Status, m.Note)
+		}
+	}
+
+	// The job path produces the same result under JobKindExtractIncident.
+	jobID, err := sys.Submit(rootcause.JobRequest{IncidentID: incID}, rootcause.WithTransientJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := sys.Wait(t.Context(), jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Status.Kind != rootcause.JobKindExtractIncident {
+		t.Fatalf("job kind = %q", jr.Status.Kind)
+	}
+	jobJSON, _ := json.Marshal(jr.Result)
+	if string(jobJSON) != string(wantJSON) {
+		t.Fatal("job-path incident extraction differs from the synchronous result")
+	}
+}
+
+// TestIncidentRequestValidation pins the JobRequest contract and the
+// guard rails around merged/unknown incidents.
+func TestIncidentRequestValidation(t *testing.T) {
+	sys, err := rootcause.Create(rootcause.Config{
+		StoreDir: filepath.Join(t.TempDir(), "flows"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	if _, err := sys.Submit(rootcause.JobRequest{AlarmID: "1", IncidentID: "i1"}); err == nil {
+		t.Fatal("two targets accepted")
+	}
+	if _, err := sys.Submit(rootcause.JobRequest{}); err == nil {
+		t.Fatal("no target accepted")
+	}
+	if _, err := sys.ExtractIncident(t.Context(), "i404"); err == nil {
+		t.Fatal("unknown incident accepted")
+	}
+	if _, err := sys.Incident("i404"); err == nil {
+		t.Fatal("unknown incident lookup succeeded")
+	}
+}

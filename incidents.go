@@ -1,0 +1,257 @@
+package rootcause
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/alarmdb"
+	"repro/internal/incident"
+	"repro/internal/jobs"
+)
+
+// Incident-layer re-exports: the correlation vocabulary without internal
+// package paths.
+type (
+	// Incident is one correlated event — the alarms a single root cause
+	// raised across bins and detectors.
+	Incident = incident.Incident
+	// IncidentLink is one lead-lag edge ("port scan leads ddos by ~300s").
+	IncidentLink = incident.Link
+	// IncidentEntry is a stored incident with its lifecycle status.
+	IncidentEntry = alarmdb.IncidentEntry
+	// IncidentStatus is an incident lifecycle state.
+	IncidentStatus = alarmdb.IncidentStatus
+	// CorrelationOptions tunes the dedup + correlation pipeline directly;
+	// most callers use WithDedupWindow/WithClusterGap/WithLeadLagConfidence
+	// instead.
+	CorrelationOptions = incident.Options
+)
+
+// Incident lifecycle states: open → extracted, or open → merged when a
+// later correlation pass absorbs the incident into a larger one.
+const (
+	IncidentOpen      = alarmdb.IncidentOpen
+	IncidentMerged    = alarmdb.IncidentMerged
+	IncidentExtracted = alarmdb.IncidentExtracted
+)
+
+// JobKindExtractIncident is the job kind of a per-incident extraction.
+const JobKindExtractIncident = "extract-incident"
+
+// WithDedupWindow sets the alarm dedup time bucket in seconds for one
+// Correlate call (default 300, one measurement bin): repeated alarms
+// from one detector for the same signature within a bucket collapse.
+func WithDedupWindow(seconds uint32) Option {
+	return func(o *callOptions) { o.dedupWindow = seconds }
+}
+
+// WithClusterGap sets the temporal-clustering joining distance in
+// seconds for one Correlate call (default 600): an alarm within the gap
+// of a cluster's interval joins that incident.
+func WithClusterGap(seconds uint32) Option {
+	return func(o *callOptions) { o.clusterGap = seconds }
+}
+
+// WithLeadLagConfidence sets the confidence floor for one Correlate
+// call's lead-lag links (default 0.5): a "kind A leads kind B" edge is
+// reported only when its modal lag holds at least this fraction of the
+// observed pairs.
+func WithLeadLagConfidence(floor float64) Option {
+	return func(o *callOptions) { o.leadLagConfidence = floor }
+}
+
+// incidentOptions folds the correlation options into the incident
+// layer's configuration (zero values inherit its defaults).
+func (o *callOptions) incidentOptions() incident.Options {
+	return incident.Options{
+		DedupWindow:   o.dedupWindow,
+		ClusterGap:    o.clusterGap,
+		MinConfidence: o.leadLagConfidence,
+	}
+}
+
+// CorrelationSummary reports one Correlate run.
+type CorrelationSummary struct {
+	// AlarmsConsidered counts the stored alarms fed to the correlator
+	// (the storm size).
+	AlarmsConsidered int `json:"alarms_considered"`
+	// AlarmsKept counts the alarms surviving stable-Bloom dedup.
+	AlarmsKept int `json:"alarms_kept"`
+	// IncidentIDs are the stored incidents, in time order. Re-correlating
+	// the same span returns the same IDs — reconciliation is idempotent.
+	IncidentIDs []string `json:"incident_ids"`
+}
+
+// Correlate collapses the stored alarms of a span into incidents:
+// stable-Bloom dedup, temporal clustering, and per-incident lead-lag
+// chains (see the incident package). Rejected alarms are excluded —
+// an operator's false-positive verdict silences the event. The
+// resulting incidents are reconciled into the alarm database: an
+// incident with a previously stored member set keeps its ID and
+// lifecycle status, new ones open fresh, and open incidents absorbed
+// by a larger correlation are marked merged.
+func (s *System) Correlate(ctx context.Context, span Interval, opts ...Option) (*CorrelationSummary, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	o := resolveOptions(opts)
+	entries := s.alarms.Query(span, "")
+	alarms := make([]Alarm, 0, len(entries))
+	for _, e := range entries {
+		if e.Status == alarmdb.StatusRejected {
+			continue
+		}
+		alarms = append(alarms, e.Alarm)
+	}
+	corr, err := incident.Correlate(alarms, o.incidentOptions())
+	if err != nil {
+		return nil, err
+	}
+	ids := s.alarms.ReconcileIncidents(corr.Incidents)
+	return &CorrelationSummary{
+		AlarmsConsidered: corr.AlarmsIn,
+		AlarmsKept:       corr.Survivors,
+		IncidentIDs:      ids,
+	}, nil
+}
+
+// Incidents returns the stored incidents overlapping iv (zero interval
+// = all), every lifecycle status, in time order.
+func (s *System) Incidents(iv Interval) []IncidentEntry {
+	return s.alarms.Incidents(iv, "")
+}
+
+// Incident returns one stored incident by ID ("i1", "i2", …).
+func (s *System) Incident(id string) (IncidentEntry, error) {
+	return s.alarms.Incident(id)
+}
+
+// IncidentCounts reports how many stored incidents sit in each
+// lifecycle status (the health-endpoint summary).
+func (s *System) IncidentCounts() map[IncidentStatus]int {
+	return s.alarms.IncidentCounts()
+}
+
+// IncidentAlarms returns an incident's member alarms (dedup survivors
+// first, then the duplicates they suppressed).
+func (s *System) IncidentAlarms(id string) ([]AlarmEntry, error) {
+	e, err := s.alarms.Incident(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AlarmEntry, 0, len(e.Incident.AlarmIDs))
+	for _, aid := range e.Incident.AlarmIDs {
+		ae, err := s.alarms.Get(aid)
+		if err != nil {
+			return nil, fmt.Errorf("incident %s member: %w", id, err)
+		}
+		out = append(out, ae)
+	}
+	return out, nil
+}
+
+// IncidentExtractionAlarm returns the single merged alarm an incident's
+// extraction runs on: the representative member's identity, the union
+// of member intervals, and the deduplicated union of member meta-data.
+// Extracting this alarm synchronously (ExtractAlarm) produces exactly
+// the result ExtractIncident records — the parity the tests pin.
+func (s *System) IncidentExtractionAlarm(id string) (Alarm, error) {
+	e, err := s.alarms.Incident(id)
+	if err != nil {
+		return Alarm{}, err
+	}
+	members, err := s.IncidentAlarms(id)
+	if err != nil {
+		return Alarm{}, err
+	}
+	alarms := make([]Alarm, len(members))
+	for i, m := range members {
+		alarms[i] = m.Alarm
+	}
+	return incident.ExtractionAlarm(&e.Incident, alarms)
+}
+
+// ExtractIncident runs the one extraction of a correlated incident: the
+// member alarms are merged into a single alarm (see
+// IncidentExtractionAlarm) and mined once, so a composite event — recon
+// plus attack — surfaces all its causes in one ranked list. On success
+// the incident is marked extracted and its still-new member alarms
+// analyzed; operator verdicts on members are left untouched. The same
+// per-call options as Extract apply.
+func (s *System) ExtractIncident(ctx context.Context, id string, opts ...Option) (*Result, error) {
+	o := resolveOptions(opts)
+	fn, err := s.extractFn(&o)
+	if err != nil {
+		return nil, err
+	}
+	return s.extractIncident(ctx, id, fn)
+}
+
+// extractIncident is the shared incident path of ExtractIncident and
+// the incident job task.
+func (s *System) extractIncident(ctx context.Context, id string, fn func(ctx context.Context, a *Alarm) (*Result, error)) (*Result, error) {
+	e, err := s.alarms.Incident(id)
+	if err != nil {
+		return nil, err
+	}
+	if e.Status == alarmdb.IncidentMerged {
+		return nil, fmt.Errorf("rootcause: incident %s was merged (%s); extract the absorbing incident", id, e.Note)
+	}
+	members, err := s.IncidentAlarms(id)
+	if err != nil {
+		return nil, err
+	}
+	alarms := make([]Alarm, len(members))
+	for i, m := range members {
+		alarms[i] = m.Alarm
+	}
+	merged, err := incident.ExtractionAlarm(&e.Incident, alarms)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fn(ctx, &merged)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range members {
+		if m.Status != alarmdb.StatusNew {
+			continue
+		}
+		if err := s.alarms.SetStatus(m.Alarm.ID, alarmdb.StatusAnalyzed, "via incident "+id); err != nil {
+			return nil, err
+		}
+	}
+	note := fmt.Sprintf("%d itemsets", len(res.Itemsets))
+	if err := s.alarms.SetIncidentStatus(id, alarmdb.IncidentExtracted, note); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// incidentTask builds the job task for one per-incident extraction.
+func (s *System) incidentTask(incidentID string, o callOptions) jobs.Task {
+	return func(ctx context.Context, report func(JobProgress)) (any, error) {
+		ro := o
+		user := o.progress
+		ro.progress = func(p ExtractionProgress) {
+			report(JobProgress{
+				Phase:       p.Phase,
+				TuningRound: p.TuningRound,
+				Candidates:  p.CandidateFlows,
+				Itemsets:    p.Itemsets,
+			})
+			if user != nil {
+				user(p)
+			}
+		}
+		fn, err := s.extractFn(&ro)
+		if err != nil {
+			return nil, err
+		}
+		return s.extractIncident(ctx, incidentID, fn)
+	}
+}
+
+// errNoJobTarget rejects a JobRequest that names no or several targets.
+var errNoJobTarget = errors.New("rootcause: JobRequest needs exactly one of AlarmID, AlarmIDs or IncidentID")

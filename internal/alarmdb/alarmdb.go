@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/detector"
@@ -36,16 +38,35 @@ type Entry struct {
 
 // DB is the alarm database. Safe for concurrent use.
 type DB struct {
-	mu      sync.RWMutex
-	entries map[string]*Entry
-	nextID  int
-	path    string // persistence file, "" = memory only
+	mu        sync.RWMutex
+	entries   map[string]*Entry
+	incidents map[string]*IncidentEntry
+	nextID    int
+	nextIncID int
+	path      string // persistence file, "" = memory only
 }
 
 // New returns an empty in-memory database.
 func New() *DB {
-	return &DB{entries: map[string]*Entry{}, nextID: 1}
+	return &DB{
+		entries:   map[string]*Entry{},
+		incidents: map[string]*IncidentEntry{},
+		nextID:    1,
+		nextIncID: 1,
+	}
 }
+
+// fileV2 is the on-disk format: a versioned envelope holding alarms and
+// incidents. Version 1 files were a bare JSON array of alarm entries;
+// Open still reads those.
+type fileV2 struct {
+	Version   int              `json:"version"`
+	Alarms    []*Entry         `json:"alarms"`
+	Incidents []*IncidentEntry `json:"incidents,omitempty"`
+}
+
+// fileVersion is the format Save writes.
+const fileVersion = 2
 
 // Open loads a database from a JSON file, creating an empty one when the
 // file does not exist yet. Save persists back to the same path.
@@ -59,34 +80,84 @@ func Open(path string) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("alarmdb: open %s: %w", path, err)
 	}
-	var entries []*Entry
-	if err := json.Unmarshal(raw, &entries); err != nil {
+	var f fileV2
+	if isLegacyArray(raw) {
+		if err := json.Unmarshal(raw, &f.Alarms); err != nil {
+			return nil, fmt.Errorf("alarmdb: parse %s: %w", path, err)
+		}
+	} else if err := json.Unmarshal(raw, &f); err != nil {
 		return nil, fmt.Errorf("alarmdb: parse %s: %w", path, err)
 	}
 	maxID := 0
-	for _, e := range entries {
+	for _, e := range f.Alarms {
 		db.entries[e.Alarm.ID] = e
 		if n, err := strconv.Atoi(e.Alarm.ID); err == nil && n > maxID {
 			maxID = n
 		}
 	}
 	db.nextID = maxID + 1
+	maxInc := 0
+	for _, e := range f.Incidents {
+		db.incidents[e.Incident.ID] = e
+		if n, err := strconv.Atoi(strings.TrimPrefix(e.Incident.ID, "i")); err == nil && n > maxInc {
+			maxInc = n
+		}
+	}
+	db.nextIncID = maxInc + 1
 	return db, nil
 }
 
+// isLegacyArray reports whether raw is a version-1 file (a bare JSON
+// array of alarm entries).
+func isLegacyArray(raw []byte) bool {
+	for _, b := range raw {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return b == '['
+	}
+	return false
+}
+
 // Save persists the database to its file (no-op for memory-only DBs).
+// The write is atomic — encode to a temp file in the same directory,
+// then rename over the target — so a crash mid-save leaves the previous
+// file intact instead of a truncated one.
 func (db *DB) Save() error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.path == "" {
 		return nil
 	}
-	entries := db.sortedLocked()
-	raw, err := json.MarshalIndent(entries, "", "  ")
+	f := fileV2{
+		Version:   fileVersion,
+		Alarms:    db.sortedLocked(),
+		Incidents: db.sortedIncidentsLocked(),
+	}
+	raw, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return fmt.Errorf("alarmdb: encode: %w", err)
 	}
-	if err := os.WriteFile(db.path, raw, 0o644); err != nil {
+	tmp, err := os.CreateTemp(filepath.Dir(db.path), filepath.Base(db.path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("alarmdb: write %s: %w", db.path, err)
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("alarmdb: write %s: %w", db.path, werr)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("alarmdb: write %s: %w", db.path, err)
+	}
+	if err := os.Rename(tmp.Name(), db.path); err != nil {
+		os.Remove(tmp.Name())
 		return fmt.Errorf("alarmdb: write %s: %w", db.path, err)
 	}
 	return nil

@@ -1,0 +1,180 @@
+package alarmdb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/flow"
+	"repro/internal/incident"
+)
+
+// IncidentStatus tracks a correlated incident through its lifecycle.
+type IncidentStatus string
+
+// Incident statuses: open (correlated, awaiting extraction), merged
+// (absorbed into a larger incident by a later correlation pass),
+// extracted (its one extraction job ran).
+const (
+	IncidentOpen      IncidentStatus = "open"
+	IncidentMerged    IncidentStatus = "merged"
+	IncidentExtracted IncidentStatus = "extracted"
+)
+
+// IncidentEntry is one stored incident with its lifecycle state.
+type IncidentEntry struct {
+	Incident incident.Incident `json:"incident"`
+	Status   IncidentStatus    `json:"status"`
+	// Note is a free-form comment ("merged into i3", extraction summary).
+	Note string `json:"note,omitempty"`
+}
+
+// ReconcileIncidents stores the incidents of one correlation run and
+// returns their IDs in input order. Reconciliation keeps repeated
+// correlation idempotent:
+//
+//   - an incoming incident with exactly the member set of a stored one
+//     reuses its ID, refreshing interval/chain/score in place (status
+//     and note survive, so an extracted incident stays extracted);
+//   - otherwise it is stored open under a fresh "i<N>" ID, and any
+//     stored open incident whose members are a strict subset of it is
+//     marked merged.
+func (db *DB) ReconcileIncidents(incs []incident.Incident) []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Index stored incidents by their canonical member set.
+	byMembers := make(map[string]*IncidentEntry, len(db.incidents))
+	for _, e := range db.incidents {
+		byMembers[memberSetKey(e.Incident.AlarmIDs)] = e
+	}
+	ids := make([]string, len(incs))
+	for i, inc := range incs {
+		key := memberSetKey(inc.AlarmIDs)
+		if prev, ok := byMembers[key]; ok {
+			inc.ID = prev.Incident.ID
+			prev.Incident = inc
+			ids[i] = inc.ID
+			continue
+		}
+		inc.ID = "i" + strconv.Itoa(db.nextIncID)
+		db.nextIncID++
+		e := &IncidentEntry{Incident: inc, Status: IncidentOpen}
+		db.incidents[inc.ID] = e
+		byMembers[key] = e
+		ids[i] = inc.ID
+		// Absorb stored open incidents this one strictly contains.
+		members := make(map[string]bool, len(inc.AlarmIDs))
+		for _, id := range inc.AlarmIDs {
+			members[id] = true
+		}
+		for _, prev := range db.incidents {
+			if prev == e || prev.Status != IncidentOpen {
+				continue
+			}
+			if len(prev.Incident.AlarmIDs) >= len(inc.AlarmIDs) || !subset(prev.Incident.AlarmIDs, members) {
+				continue
+			}
+			prev.Status = IncidentMerged
+			prev.Note = "merged into " + inc.ID
+		}
+	}
+	return ids
+}
+
+// memberSetKey canonicalizes a member-alarm ID set.
+func memberSetKey(ids []string) string {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, ",")
+}
+
+// subset reports whether every id is in members.
+func subset(ids []string, members map[string]bool) bool {
+	for _, id := range ids {
+		if !members[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// Incident returns a copy of the stored incident with the given ID.
+func (db *DB) Incident(id string) (IncidentEntry, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.incidents[id]
+	if !ok {
+		return IncidentEntry{}, fmt.Errorf("%w: incident %q", ErrNotFound, id)
+	}
+	return *e, nil
+}
+
+// Incidents returns stored incidents whose interval overlaps iv
+// (zero interval = all), optionally restricted to one status ("" =
+// all), ordered by interval start then ID.
+func (db *DB) Incidents(iv flow.Interval, status IncidentStatus) []IncidentEntry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []IncidentEntry
+	for _, e := range db.sortedIncidentsLocked() {
+		if iv != (flow.Interval{}) && !e.Incident.Interval.Overlaps(iv) {
+			continue
+		}
+		if status != "" && e.Status != status {
+			continue
+		}
+		out = append(out, *e)
+	}
+	return out
+}
+
+// SetIncidentStatus updates an incident's lifecycle status and note.
+func (db *DB) SetIncidentStatus(id string, status IncidentStatus, note string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.incidents[id]
+	if !ok {
+		return fmt.Errorf("%w: incident %q", ErrNotFound, id)
+	}
+	switch status {
+	case IncidentOpen, IncidentMerged, IncidentExtracted:
+	default:
+		return fmt.Errorf("alarmdb: invalid incident status %q", status)
+	}
+	e.Status = status
+	if note != "" {
+		e.Note = note
+	}
+	return nil
+}
+
+// IncidentCounts reports how many incidents sit in each status.
+func (db *DB) IncidentCounts() map[IncidentStatus]int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := map[IncidentStatus]int{}
+	for _, e := range db.incidents {
+		out[e.Status]++
+	}
+	return out
+}
+
+// sortedIncidentsLocked returns incidents ordered by (interval start,
+// numeric ID). Caller holds at least the read lock.
+func (db *DB) sortedIncidentsLocked() []*IncidentEntry {
+	entries := make([]*IncidentEntry, 0, len(db.incidents))
+	for _, e := range db.incidents {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Incident.Interval.Start != b.Incident.Interval.Start {
+			return a.Incident.Interval.Start < b.Incident.Interval.Start
+		}
+		ai, _ := strconv.Atoi(strings.TrimPrefix(a.Incident.ID, "i"))
+		bi, _ := strconv.Atoi(strings.TrimPrefix(b.Incident.ID, "i"))
+		return ai < bi
+	})
+	return entries
+}

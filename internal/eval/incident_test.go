@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestIncidentMode is the incident-layer acceptance test: on the
+// portscan-ddos composite the synthesized alarm storm must collapse at
+// least 5x into one incident, whose single extraction job recovers both
+// ground-truth causes in the top 3 with the lead-lag chain ordering the
+// scan before the flood; a plain scenario and an expect-fail one must
+// pass their own rules.
+func TestIncidentMode(t *testing.T) {
+	rep, err := RunMatrix(PipelineConfig{
+		Scenarios: []string{"portscan", "portscan-ddos", "stealthy"},
+		Detectors: []string{SynthesizedSource},
+		Miners:    []string{"apriori"},
+		Seed:      7,
+		Incidents: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Incidents) != 3 {
+		t.Fatalf("incident rows = %d, want 3", len(rep.Incidents))
+	}
+	byName := map[string]IncidentScore{}
+	for _, s := range rep.Incidents {
+		byName[s.Scenario] = s
+	}
+
+	comp := byName["portscan-ddos"]
+	if comp.Error != "" {
+		t.Fatalf("composite errored: %s", comp.Error)
+	}
+	if !comp.Composite {
+		t.Fatal("portscan-ddos not marked composite")
+	}
+	if comp.Incidents != 1 {
+		t.Fatalf("composite correlated into %d incidents, want 1", comp.Incidents)
+	}
+	if comp.Reduction < 5 {
+		t.Fatalf("reduction %.1fx < 5x (%d alarms -> %d incidents)",
+			comp.Reduction, comp.AlarmsIn, comp.Incidents)
+	}
+	if comp.Jobs != comp.Incidents {
+		t.Fatalf("%d jobs for %d incidents, want exactly one each", comp.Jobs, comp.Incidents)
+	}
+	if comp.Recall != 1 || comp.WorstRank < 1 || comp.WorstRank > 3 {
+		t.Fatalf("joint recovery failed: recall=%.2f worst rank=%d", comp.Recall, comp.WorstRank)
+	}
+	if !comp.ChainOK {
+		t.Fatal("lead-lag chain does not order portscan before ddos")
+	}
+	if !comp.Pass {
+		t.Fatalf("composite did not pass: %+v", comp)
+	}
+
+	single := byName["portscan"]
+	if !single.Pass || single.Recall != 1 {
+		t.Fatalf("single-anomaly incident mode failed: %+v", single)
+	}
+	if single.Jobs != single.Incidents {
+		t.Fatalf("%d jobs for %d incidents", single.Jobs, single.Incidents)
+	}
+
+	stealthy := byName["stealthy"]
+	if !stealthy.ExpectFail {
+		t.Fatal("stealthy not marked expect-fail")
+	}
+	if !stealthy.Pass {
+		t.Fatalf("expect-fail scenario attributed causes: %+v", stealthy)
+	}
+
+	// Alarm-mode cells are unaffected by the incident column.
+	for _, c := range rep.Combos {
+		if !c.Pass {
+			t.Fatalf("alarm-mode cell regressed: %+v", c)
+		}
+	}
+
+	// The Markdown report renders the incident section.
+	md := rep.Markdown()
+	if !strings.Contains(md, "## Incident mode") || !strings.Contains(md, "portscan-ddos (composite)") {
+		t.Fatalf("markdown missing incident section:\n%s", md)
+	}
+}

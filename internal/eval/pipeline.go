@@ -55,6 +55,12 @@ type PipelineConfig struct {
 	// (Submit → Wait) instead of the synchronous Extract call,
 	// exercising the production path end to end.
 	UseJobs bool
+	// Incidents adds the incident-mode column: per scenario, a
+	// synthesized alarm storm is correlated into incidents and each
+	// incident extracted through ONE job, scored jointly against the
+	// full ground truth (see IncidentScore). Composite scenarios prove
+	// one correlated extraction recovers every cause.
+	Incidents bool
 }
 
 // ComboScore is the outcome of one scenario × detector × miner cell.
@@ -128,6 +134,9 @@ type MatrixReport struct {
 	Totals   MatrixTotals  `json:"totals"`
 	PerMiner []MinerTotals `json:"per_miner"`
 	Combos   []ComboScore  `json:"combos"`
+	// Incidents is the incident-mode column (PipelineConfig.Incidents):
+	// one row per scenario.
+	Incidents []IncidentScore `json:"incidents,omitempty"`
 }
 
 // MatrixReportVersion is the current MatrixReport.Version.
@@ -198,11 +207,14 @@ func RunMatrix(cfg PipelineConfig) (*MatrixReport, error) {
 			return nil, fmt.Errorf("eval: unknown scenario %q (catalog: %s)",
 				name, strings.Join(gen.Names(), ", "))
 		}
-		cells, err := runScenarioMatrix(def, cfg, workDir, detectors, miners)
+		cells, incScore, err := runScenarioMatrix(def, cfg, workDir, detectors, miners)
 		if err != nil {
 			return nil, fmt.Errorf("eval: scenario %s: %w", name, err)
 		}
 		report.Combos = append(report.Combos, cells...)
+		if incScore != nil {
+			report.Incidents = append(report.Incidents, *incScore)
+		}
 	}
 	report.WallMS = float64(time.Since(t0).Microseconds()) / 1000
 	report.Totals = totals(report.Combos)
@@ -219,14 +231,15 @@ func RunMatrix(cfg PipelineConfig) (*MatrixReport, error) {
 }
 
 // runScenarioMatrix generates one scenario into a fresh system and runs
-// its detector × miner cells.
-func runScenarioMatrix(def gen.Def, cfg PipelineConfig, workDir string, detectors, miners []string) ([]ComboScore, error) {
+// its detector × miner cells (plus the incident-mode column when
+// configured).
+func runScenarioMatrix(def gen.Def, cfg PipelineConfig, workDir string, detectors, miners []string) ([]ComboScore, *IncidentScore, error) {
 	ctx := context.Background()
 	sys, err := rootcause.Create(rootcause.Config{
 		StoreDir: filepath.Join(workDir, "scenario-"+def.Name),
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer sys.Close()
 
@@ -234,7 +247,16 @@ func runScenarioMatrix(def gen.Def, cfg PipelineConfig, workDir string, detector
 	sc.SampleRate = cfg.SampleRate
 	truth, err := sc.Generate(sys.Store())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+
+	// Incident mode runs first, on the pristine alarm DB: the storm it
+	// synthesizes (and correlates) must not mix with the per-cell alarms
+	// the detector columns file below.
+	var incScore *IncidentScore
+	if cfg.Incidents {
+		s := runScenarioIncidents(def, sys, truth)
+		incScore = &s
 	}
 
 	// The bin a detector must flag to count as the alarm source: the
@@ -251,7 +273,7 @@ func runScenarioMatrix(def gen.Def, cfg PipelineConfig, workDir string, detector
 		alarmID, source, detErr := sourceAlarm(ctx, sys, det, truth, anomalyIv, kind)
 		entry, err := sys.Alarm(alarmID)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, m := range miners {
 			cell := ComboScore{
@@ -266,12 +288,12 @@ func runScenarioMatrix(def gen.Def, cfg PipelineConfig, workDir string, detector
 				continue
 			}
 			if err := scoreCell(&cell, sys, &entry.Alarm, res, truth); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			cells = append(cells, cell)
 		}
 	}
-	return cells, nil
+	return cells, incScore, nil
 }
 
 // quietAlarmInterval is the placement-bin interval of a scenario with no

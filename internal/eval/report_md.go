@@ -45,6 +45,38 @@ func (r *MatrixReport) Markdown() string {
 			name, c.Detector, c.AlarmSource, c.Miner, c.Itemsets, mark(c.Useful),
 			c.Precision, c.Recall, c.RankOfTrueCause, status, c.WallMS)
 	}
+
+	if len(r.Incidents) > 0 {
+		b.WriteString("\n## Incident mode\n\n")
+		b.WriteString("Per scenario: a synthesized alarm storm is deduplicated and correlated\n")
+		b.WriteString("into incidents, each extracted through ONE job, scored jointly against\n")
+		b.WriteString("the full ground truth. Worst rank is the deepest rank any recovered\n")
+		b.WriteString("cause needed (0 = a cause was missed). ")
+		b.WriteString(incidentTotalsLine(r.Incidents))
+		b.WriteString("\n\n")
+		b.WriteString("| scenario | alarms | kept | incidents | reduction | jobs | precision | recall | worst rank | chain | pass | ms |\n")
+		b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|:---:|:---:|---:|\n")
+		for _, s := range r.Incidents {
+			name := s.Scenario
+			if s.Composite {
+				name += " (composite)"
+			}
+			if s.ExpectFail {
+				name += " (expect-fail)"
+			}
+			status := mark(s.Pass)
+			if s.Error != "" {
+				status = "error"
+			}
+			chain := "-"
+			if s.Composite {
+				chain = mark(s.ChainOK)
+			}
+			fmt.Fprintf(&b, "| %s | %d | %d | %d | %.1fx | %d | %.2f | %.2f | %d | %s | %s | %.0f |\n",
+				name, s.AlarmsIn, s.AlarmsKept, s.Incidents, s.Reduction, s.Jobs,
+				s.Precision, s.Recall, s.WorstRank, chain, status, s.WallMS)
+		}
+	}
 	return b.String()
 }
 

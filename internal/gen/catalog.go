@@ -33,11 +33,20 @@ type Def struct {
 	// Background overrides the catalog default background (nil keeps
 	// it: 3 PoPs, 300 flows/bin, suite-sized pools).
 	Background *Background
-	// Place builds the anomaly set for one run. All returned anomalies
-	// are placed in AnomalyBin (composition = several anomalies in one
-	// bin); nil means a quiet trace. The rng is forked from the run
-	// seed, keeping placements deterministic per (Def, seed).
+	// Place builds the anomaly set for one run. Anomalies are placed in
+	// AnomalyBin, staggered by BinOffsets; nil means a quiet trace. The
+	// rng is forked from the run seed, keeping placements deterministic
+	// per (Def, seed).
 	Place func(rng *stats.RNG) []Anomaly
+	// BinOffsets staggers the placed anomalies relative to AnomalyBin:
+	// anomaly i lands in AnomalyBin+BinOffsets[i] (missing entries = 0,
+	// i.e. the composition-in-one-bin default). A composite cascade —
+	// recon one bin before the attack — is offsets {0, 1}.
+	BinOffsets []int
+	// Composite marks the placed anomalies as phases of one event: the
+	// incident layer should correlate them into a single incident, and
+	// incident-mode evaluation scores their truth entries jointly.
+	Composite bool
 }
 
 // catalogStart is the fixed trace start of catalog scenarios, aligned to
@@ -66,6 +75,7 @@ func (d Def) Scenario(seed uint64) *Scenario {
 		StartTime:  catalogStart,
 		Seed:       seed,
 		Placements: d.Placements(seed, bin),
+		Composite:  d.Composite,
 	}
 }
 
@@ -77,8 +87,12 @@ func (d Def) Placements(seed uint64, bin int) []Placement {
 		return nil
 	}
 	var placements []Placement
-	for _, a := range d.Place(stats.NewRNG(seed).Fork(0xca7a)) {
-		placements = append(placements, Placement{Anomaly: a, Bin: bin})
+	for i, a := range d.Place(stats.NewRNG(seed).Fork(0xca7a)) {
+		offset := 0
+		if i < len(d.BinOffsets) {
+			offset = d.BinOffsets[i]
+		}
+		placements = append(placements, Placement{Anomaly: a, Bin: bin + offset})
 	}
 	return placements
 }
@@ -315,7 +329,11 @@ func init() {
 	})
 	mustRegister(Def{
 		Name:    "portscan-ddos",
-		Summary: "composite bin: a port scan and a SYN DDoS hitting the same victim (the Table-1 situation)",
+		Summary: "composite cascade: a port scan, then a SYN DDoS on the same victim one bin later (the Table-1 situation)",
+		// The scan precedes the flood by one bin — the cascade the
+		// incident layer's lead-lag chain must order.
+		BinOffsets: []int{0, 1},
+		Composite:  true,
 		Place: func(rng *stats.RNG) []Anomaly {
 			return []Anomaly{
 				PortScan{

@@ -33,6 +33,9 @@ type Scenario struct {
 	// unsampled, i.e. 1).
 	SampleRate uint32
 	Placements []Placement
+	// Composite marks the placements as phases of one event (see
+	// Def.Composite); carried into the Truth for joint scoring.
+	Composite bool
 }
 
 // TruthEntry records the ground truth of one placed anomaly.
@@ -63,6 +66,10 @@ type Truth struct {
 	Span flow.Interval
 	// BackgroundFlows counts stored background records.
 	BackgroundFlows uint64
+	// Composite marks the entries as phases of one event: incident-mode
+	// evaluation scores them jointly (one extraction must recover every
+	// entry) instead of entry-by-entry.
+	Composite bool
 }
 
 // Entry returns the truth entry with the given annotation, or nil.
@@ -95,7 +102,8 @@ func (s *Scenario) Generate(store *nfstore.Store) (*Truth, error) {
 	binSec := store.BinSeconds()
 	start := s.StartTime - s.StartTime%binSec
 	truth := &Truth{
-		Span: flow.Interval{Start: start, End: start + uint32(s.Bins)*binSec},
+		Span:      flow.Interval{Start: start, End: start + uint32(s.Bins)*binSec},
+		Composite: s.Composite,
 	}
 
 	rng := stats.NewRNG(s.Seed)

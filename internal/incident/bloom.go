@@ -1,0 +1,178 @@
+package incident
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/detector"
+)
+
+// DedupConfig sizes the stable Bloom deduper. Zero values inherit
+// defaults; explicit invalid values error at construction.
+type DedupConfig struct {
+	// Cells is the number of counter cells (default 1<<15). More cells
+	// lower the false-positive rate for the same stream.
+	Cells int
+	// Hashes is the number of cells one key occupies (default 3).
+	Hashes int
+	// Max is the value a fresh insert sets its cells to (default 3).
+	// Together with Decays it bounds how long an idle key stays
+	// remembered: every insert decays Decays random cells by one, so
+	// old entries fade instead of saturating the filter.
+	Max uint8
+	// Decays is how many random cells each insert decrements (default
+	// 8). Higher values forget faster.
+	Decays int
+	// Seed drives the decay cell selection, making a deduper run
+	// deterministic (default 0x5b10f17e).
+	Seed uint64
+}
+
+// Defaults for DedupConfig zero values.
+const (
+	DefaultDedupCells  = 1 << 15
+	DefaultDedupHashes = 3
+	DefaultDedupMax    = 3
+	DefaultDedupDecays = 8
+	defaultDedupSeed   = 0x5b10f17e
+)
+
+func (c *DedupConfig) fill() error {
+	if c.Cells == 0 {
+		c.Cells = DefaultDedupCells
+	}
+	if c.Hashes == 0 {
+		c.Hashes = DefaultDedupHashes
+	}
+	if c.Max == 0 {
+		c.Max = DefaultDedupMax
+	}
+	if c.Decays == 0 {
+		c.Decays = DefaultDedupDecays
+	}
+	if c.Seed == 0 {
+		c.Seed = defaultDedupSeed
+	}
+	if c.Cells < 0 || c.Hashes < 0 || c.Decays < 0 {
+		return fmt.Errorf("incident: negative dedup sizing %+v", *c)
+	}
+	return nil
+}
+
+// Deduper is a stable Bloom filter: a set membership sketch over an
+// unbounded stream whose old entries probabilistically decay, so memory
+// stays fixed and the false-positive rate converges to a stable bound
+// instead of climbing to one. Not safe for concurrent use; callers
+// serialize (the correlator runs it over a sorted batch).
+type Deduper struct {
+	cells   []uint8
+	hashes  int
+	max     uint8
+	decays  int
+	rng     uint64 // xorshift64 state for decay cell selection
+	inserts uint64
+	hits    uint64
+}
+
+// NewDeduper builds a deduper from cfg (zero values inherit defaults).
+func NewDeduper(cfg DedupConfig) (*Deduper, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Deduper{
+		cells:  make([]uint8, cfg.Cells),
+		hashes: cfg.Hashes,
+		max:    cfg.Max,
+		decays: cfg.Decays,
+		rng:    cfg.Seed,
+	}, nil
+}
+
+// next advances the decay RNG (xorshift64).
+func (d *Deduper) next() uint64 {
+	x := d.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	d.rng = x
+	return x
+}
+
+// Seen tests-and-inserts one key: it reports whether the key was
+// (probably) already present, then refreshes it. The stable-Bloom
+// update order matters: decay first, then test, then set — a key
+// decayed to zero by its own insert would otherwise misreport.
+func (d *Deduper) Seen(key string) bool {
+	d.inserts++
+	// Decay: forget a little of everything on every insert.
+	for i := 0; i < d.decays; i++ {
+		c := d.next() % uint64(len(d.cells))
+		if d.cells[c] > 0 {
+			d.cells[c]--
+		}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	// Double hashing: derive the k cell indexes from two base hashes.
+	// The FNV sum is finalized with a strong mixer first — cell counts
+	// are powers of two, and raw FNV low bits make the probe stride an
+	// affine function of the base index, inflating the false-positive
+	// rate several-fold.
+	h1 := mix64(h.Sum64())
+	h2 := (h1 >> 32) | 1
+	seen := true
+	for i := 0; i < d.hashes; i++ {
+		c := (h1 + uint64(i)*h2) % uint64(len(d.cells))
+		if d.cells[c] == 0 {
+			seen = false
+		}
+		d.cells[c] = d.max
+	}
+	if seen {
+		d.hits++
+	}
+	return seen
+}
+
+// mix64 is the 64-bit murmur3 finalizer: a bijective avalanche so every
+// output bit depends on every input bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Stats reports inserts processed and how many were suppressed as
+// duplicates.
+func (d *Deduper) Stats() (inserts, duplicates uint64) {
+	return d.inserts, d.hits
+}
+
+// DedupKey builds the deduper key of one alarm: the detector, its kind
+// classification, the signature-ish meta fields (sorted, so detector
+// reporting order does not split keys), and the alarm's start bucketed
+// to window seconds. Two alarms share a key exactly when the same
+// detector re-reports the same event within one bucket.
+func DedupKey(a *detector.Alarm, window uint32) string {
+	if window == 0 {
+		window = 1
+	}
+	metas := make([]string, len(a.Meta))
+	for i, m := range a.Meta {
+		metas[i] = m.String()
+	}
+	sort.Strings(metas)
+	var b strings.Builder
+	b.WriteString(a.Detector)
+	b.WriteByte('|')
+	b.WriteString(string(a.Kind))
+	b.WriteByte('|')
+	b.WriteString(strings.Join(metas, ","))
+	fmt.Fprintf(&b, "|%d", a.Interval.Start/window)
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package incident
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/flow"
+)
+
+func TestDeduperTestAndSet(t *testing.T) {
+	d, err := NewDeduper(DedupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seen("a") {
+		t.Fatal("fresh key reported seen")
+	}
+	if !d.Seen("a") {
+		t.Fatal("repeated key reported unseen")
+	}
+	if d.Seen("b") {
+		t.Fatal("distinct key reported seen")
+	}
+	ins, dup := d.Stats()
+	if ins != 3 || dup != 1 {
+		t.Fatalf("stats = (%d, %d), want (3, 1)", ins, dup)
+	}
+}
+
+func TestDeduperDeterministic(t *testing.T) {
+	run := func() []bool {
+		d, err := NewDeduper(DedupConfig{Cells: 1 << 10, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 0, 2000)
+		for i := 0; i < 2000; i++ {
+			out = append(out, d.Seen(fmt.Sprintf("key-%d", i%700)))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("answer %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestDeduperFalsePositiveBound pins the stable-Bloom false-positive
+// rate: streaming thousands of distinct keys through the default-sized
+// filter, the fraction misreported as already-seen stays under 2%.
+func TestDeduperFalsePositiveBound(t *testing.T) {
+	d, err := NewDeduper(DedupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	fp := 0
+	for i := 0; i < n; i++ {
+		if d.Seen(fmt.Sprintf("unique-key-%d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / n; rate > 0.02 {
+		t.Fatalf("false-positive rate %.4f exceeds the 2%% bound (%d/%d)", rate, fp, n)
+	}
+}
+
+// TestDeduperDecay pins the "stable" property: old entries fade as the
+// stream flows, so an idle key is eventually forgotten instead of the
+// filter saturating.
+func TestDeduperDecay(t *testing.T) {
+	d, err := NewDeduper(DedupConfig{Cells: 1 << 8, Decays: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Seen("old")
+	for i := 0; i < 10000; i++ {
+		d.Seen(fmt.Sprintf("churn-%d", i))
+	}
+	if d.Seen("old") {
+		t.Fatal("idle key still remembered after heavy churn — filter does not decay")
+	}
+}
+
+func TestDedupKey(t *testing.T) {
+	a := detector.Alarm{
+		Detector: "histogram",
+		Kind:     detector.KindPortScan,
+		Interval: flow.Interval{Start: 1000, End: 1300},
+		Meta: []detector.MetaItem{
+			{Feature: flow.FeatDstPort, Value: 80},
+			{Feature: flow.FeatSrcIP, Value: 42},
+		},
+	}
+	b := a
+	// Meta order must not split keys.
+	b.Meta = []detector.MetaItem{a.Meta[1], a.Meta[0]}
+	// Same bucket (window 300): 1000/300 == 1150/300.
+	b.Interval = flow.Interval{Start: 1150, End: 1300}
+	if DedupKey(&a, 300) != DedupKey(&b, 300) {
+		t.Fatalf("keys differ for same-event alarms:\n%s\n%s", DedupKey(&a, 300), DedupKey(&b, 300))
+	}
+	c := a
+	c.Interval.Start = 1400 // next bucket
+	if DedupKey(&a, 300) == DedupKey(&c, 300) {
+		t.Fatal("keys collide across time buckets")
+	}
+	d := a
+	d.Detector = "pca"
+	if DedupKey(&a, 300) == DedupKey(&d, 300) {
+		t.Fatal("keys collide across detectors")
+	}
+}

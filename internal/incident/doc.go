@@ -1,0 +1,33 @@
+// Package incident is the layer between detection and extraction: it
+// collapses alarm storms into incidents so the mining engine runs once
+// per event instead of once per alarm.
+//
+// At production alert volume one event — a DDoS, a link outage — raises
+// alarms across many measurement bins and detectors, and the bottleneck
+// shifts from mining speed to alarm volume. The package follows the
+// observer shape (CUSUM → stable-Bloom dedup → temporal correlators):
+//
+//	alarms ──▶ Deduper (stable Bloom) ──▶ TimeCluster ──▶ Incidents
+//	                                          │
+//	                                      LeadLag chain
+//
+// Deduper is a stable Bloom filter keyed on (detector, kind,
+// signature-ish meta fields, time bucket): repeated alarms from the
+// same event collapse probabilistically in bounded memory, with old
+// entries decaying so the filter never saturates on an unbounded
+// stream. Correlate then clusters the survivors by temporal proximity
+// (alarms within ClusterGap of each other join one Incident) and builds
+// per-incident lead-lag chains from lag histograms over detector-kind
+// pairs ("port scan leads ddos by ~1 bin, confidence 0.9").
+//
+// ExtractionAlarm merges an incident's member alarms into the single
+// alarm its one extraction job runs on: the representative member's
+// identity, the union of member intervals, and the union of member
+// meta-data — so a composite event (the catalog's portscan-ddos bin)
+// is mined once and both causes surface in one ranked list.
+//
+// Everything is deterministic for a fixed Options: the deduper's decay
+// uses a seeded xorshift generator and correlation sorts its input, so
+// the same alarms always produce the same incidents (the contract the
+// correlator tests pin).
+package incident

@@ -220,6 +220,10 @@ type callOptions struct {
 	jobQueueDepth    int
 	resultTTL        time.Duration
 	zmCacheEntries   int
+	// Correlation tuning (see incidents.go).
+	dedupWindow       uint32
+	clusterGap        uint32
+	leadLagConfidence float64
 	// extractFn substitutes the extraction engine; a test seam for
 	// exercising ExtractAll's pool without real mining.
 	extractFn func(ctx context.Context, a *Alarm) (*Result, error)
@@ -641,8 +645,9 @@ func (s *System) extractAll(ctx context.Context, alarmIDs []string, o *callOptio
 }
 
 // JobRequest describes one extraction-job submission: exactly one of
-// AlarmID (a single extraction, JobKindExtract) or AlarmIDs (a batch,
-// JobKindExtractBatch) must be set.
+// AlarmID (a single extraction, JobKindExtract), AlarmIDs (a batch,
+// JobKindExtractBatch) or IncidentID (a per-incident extraction,
+// JobKindExtractIncident) must be set.
 type JobRequest struct {
 	// AlarmID submits a single stored-alarm extraction.
 	AlarmID string
@@ -650,6 +655,10 @@ type JobRequest struct {
 	// retained in submission order (and optionally streamed through
 	// WithBatchResults).
 	AlarmIDs []string
+	// IncidentID submits the one extraction of a correlated incident
+	// (its members merged into a single mining run, like
+	// ExtractIncident).
+	IncidentID string
 }
 
 // JobResult is the outcome of a finished (done) job.
@@ -676,9 +685,14 @@ type JobResult struct {
 // via Wait or JobResult. CancelJob aborts it.
 func (s *System) Submit(req JobRequest, opts ...Option) (string, error) {
 	o := resolveOptions(opts)
-	single, batch := req.AlarmID != "", len(req.AlarmIDs) > 0
-	if single == batch {
-		return "", errors.New("rootcause: JobRequest needs exactly one of AlarmID or AlarmIDs")
+	targets := 0
+	for _, set := range []bool{req.AlarmID != "", len(req.AlarmIDs) > 0, req.IncidentID != ""} {
+		if set {
+			targets++
+		}
+	}
+	if targets != 1 {
+		return "", errNoJobTarget
 	}
 	// Fail fast on configuration mistakes (unknown miner, invalid
 	// extraction options) while the caller is still on the line.
@@ -691,8 +705,11 @@ func (s *System) Submit(req JobRequest, opts ...Option) (string, error) {
 	if o.transientJob {
 		submit = s.jobs.SubmitTransient
 	}
-	if single {
+	switch {
+	case req.AlarmID != "":
 		return submit(JobKindExtract, s.extractTask(req.AlarmID, o))
+	case req.IncidentID != "":
+		return submit(JobKindExtractIncident, s.incidentTask(req.IncidentID, o))
 	}
 	return submit(JobKindExtractBatch, s.batchTask(req.AlarmIDs, o))
 }
