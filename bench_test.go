@@ -388,6 +388,55 @@ func BenchmarkStoreQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreScanFormats compares the v1 fixed-row and v2 columnar
+// segment formats on the selective two-column extraction filter
+// (`benchreport -exp scan` prints the same comparison as a table, and
+// docs/evaluation.md records a captured run). The clustered workload is
+// the paper's shape — matches concentrated in one anomaly burst, letting
+// v2 reject whole background blocks after decoding only the two filter
+// columns; uniform spreads matches evenly, v2's worst case.
+func BenchmarkStoreScanFormats(b *testing.B) {
+	filter := nffilter.MustParse(eval.ScanFilter)
+	const records, bins = 200_000, 4
+	span := flow.Interval{Start: 0, End: bins * 300}
+	for _, tc := range []struct {
+		name      string
+		format    uint16
+		clustered bool
+	}{
+		{"v1/clustered", nfstore.FormatV1, true},
+		{"v2/clustered", nfstore.FormatV2, true},
+		{"v1/uniform", nfstore.FormatV1, false},
+		{"v2/uniform", nfstore.FormatV2, false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			store, err := nfstore.CreateFormat(b.TempDir(), 300, tc.format)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			if err := eval.FillScanStore(store, tc.clustered, records, bins, 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				err := store.Query(b.Context(), span, filter, func(*flow.Record) error {
+					n++
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("filter matched nothing")
+				}
+			}
+			b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+		})
+	}
+}
+
 // prunedQueryStore builds a multi-segment archive for the query-engine
 // benchmark: bins of uniform background traffic plus one bin that also
 // holds flows from a distinctive source, so a "src ip" filter is

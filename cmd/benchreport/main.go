@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: all|e1|e2|e3|e4|e5|e6|eval")
+		exp       = flag.String("exp", "all", "experiment: all|e1|e2|e3|e4|e5|e6|scan|eval")
 		seed      = flag.Uint64("seed", 1, "suite seed")
 		jsonPath  = flag.String("json", "BENCH_eval.json", "eval: machine-readable report path (\"\" = skip)")
 		mdPath    = flag.String("md", "BENCH_eval.md", "eval: markdown report path (\"\" = skip)")
@@ -45,6 +45,9 @@ func main() {
 		quick     = flag.Bool("quick", false, "eval: reduced matrix for CI smoke runs")
 		incidents = flag.Bool("incidents", false,
 			"eval: also run the incident-mode column (alarm storm -> dedup + correlation -> one job per incident)")
+		segFmt = flag.Int("segment-format", 0,
+			"eval: flow-store segment format (1 = fixed rows, 2 = column blocks, 0 = library default); scores are format-independent")
+		scanMD = flag.String("scan-md", "BENCH_scan.md", "scan: markdown report path (\"\" = skip)")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), `usage: benchreport [flags]
@@ -64,6 +67,7 @@ Experiments (-exp, see DESIGN.md §6-§7):
   e4    SWITCH 31-anomaly extraction (paper: all 31)
   e5    flow-only vs dual support across UDP flood sizes
   e6    self-tuning vs fixed minimum support
+  scan  segment-format scan throughput, v1 fixed rows vs v2 column blocks
   eval  scenario catalog x detectors x miners, scored against ground truth
 
 Flags:
@@ -75,7 +79,8 @@ Flags:
 		jsonPath: *jsonPath, mdPath: *mdPath,
 		scenarios: splitCSV(*scenarios), detectors: splitCSV(*detectors),
 		miners: splitCSV(*miners), sync: *sync, quick: *quick,
-		incidents: *incidents,
+		incidents: *incidents, segmentFormat: uint16(*segFmt),
+		scanMD: *scanMD,
 	}
 	if err := run(*exp, *seed, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -88,6 +93,8 @@ type evalFlags struct {
 	jsonPath, mdPath             string
 	scenarios, detectors, miners []string
 	sync, quick, incidents       bool
+	segmentFormat                uint16
+	scanMD                       string
 }
 
 func splitCSV(s string) []string {
@@ -134,6 +141,11 @@ func run(exp string, seed uint64, cfg evalFlags) error {
 	}
 	if all || exp == "e6" {
 		if err := runE6(workDir, seed); err != nil {
+			return err
+		}
+	}
+	if all || exp == "scan" {
+		if err := runScan(workDir, seed, cfg); err != nil {
 			return err
 		}
 	}
@@ -262,6 +274,43 @@ func runE6(workDir string, seed uint64) error {
 	return nil
 }
 
+func runScan(workDir string, seed uint64, cfg evalFlags) error {
+	header("SCAN", "segment-format scan throughput — v1 fixed rows vs v2 column blocks")
+	t0 := time.Now()
+	rows, err := eval.RunScanBench(workDir+"/scan", eval.ScanBenchConfig{Seed: int64(seed)})
+	if err != nil {
+		return err
+	}
+	t := report.New("", "op", "workload", "format", "matched", "Mrec/s", "speedup vs v1")
+	for _, r := range rows {
+		t.AddRow(r.Op, r.Workload, fmt.Sprintf("v%d", r.Format),
+			fmt.Sprintf("%d", r.Matched), fmt.Sprintf("%.1f", r.MrecPerS),
+			fmt.Sprintf("%.2fx", r.SpeedupV1))
+	}
+	fmt.Print(t.String())
+	fmt.Printf("filter: %q — the selective two-column extraction scan. The clustered\n"+
+		"workload is the paper's shape (one anomaly burst); uniform is v2's worst\n"+
+		"case, where no background block can be skipped.\n", eval.ScanFilter)
+	if cfg.scanMD != "" {
+		var b strings.Builder
+		b.WriteString("# BENCH_scan — segment-format scan throughput\n\n")
+		fmt.Fprintf(&b, "Filter `%s` over 200k records in 4 bins; v1 = fixed 42-byte rows,\n"+
+			"v2 = compressed column blocks with zone maps and vectorized filters.\n\n", eval.ScanFilter)
+		b.WriteString("| op | workload | format | matched | Mrec/s | speedup vs v1 |\n")
+		b.WriteString("|---|---|---|---|---|---|\n")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "| %s | %s | v%d | %d | %.1f | %.2fx |\n",
+				r.Op, r.Workload, r.Format, r.Matched, r.MrecPerS, r.SpeedupV1)
+		}
+		if err := os.WriteFile(cfg.scanMD, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.scanMD)
+	}
+	fmt.Printf("elapsed: %v\n", time.Since(t0).Round(time.Millisecond))
+	return nil
+}
+
 // quickScenarios is the reduced -quick matrix: one representative of each
 // major class plus an expect-fail case, sized for CI smoke runs.
 var quickScenarios = []string{
@@ -271,13 +320,14 @@ var quickScenarios = []string{
 func runEval(workDir string, seed uint64, cfg evalFlags) error {
 	header("EVAL", "scenario catalog x detectors x miners, scored against ground truth")
 	pipeCfg := eval.PipelineConfig{
-		Scenarios: cfg.scenarios,
-		Detectors: cfg.detectors,
-		Miners:    cfg.miners,
-		Seed:      seed,
-		WorkDir:   workDir + "/matrix",
-		UseJobs:   !cfg.sync,
-		Incidents: cfg.incidents,
+		Scenarios:     cfg.scenarios,
+		Detectors:     cfg.detectors,
+		Miners:        cfg.miners,
+		Seed:          seed,
+		WorkDir:       workDir + "/matrix",
+		UseJobs:       !cfg.sync,
+		Incidents:     cfg.incidents,
+		SegmentFormat: cfg.segmentFormat,
 	}
 	if cfg.quick {
 		if pipeCfg.Scenarios == nil {

@@ -42,6 +42,8 @@ func main() {
 		start    = flag.Uint("start", 1_300_000_200, "trace start (unix seconds)")
 		anomBin  = flag.Int("anomaly-bin", -1, "bin index for the anomaly (-1 = 2/3 of the trace)")
 		diurnal  = flag.Bool("diurnal", false, "modulate background volume diurnally")
+		segFmt   = flag.Int("segment-format", int(nfstore.DefaultSegmentFormat),
+			"segment format for the new store: 1 = fixed rows, 2 = column blocks")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `usage: flowgen -out DIR [flags]
@@ -78,15 +80,15 @@ Flags:
 		os.Exit(2)
 	}
 	if err := run(*out, *scenario, *bins, uint32(*binSec), *pops, *flowsBin, *hosts, *servers,
-		*seed, uint32(*sample), uint32(*start), *anomBin, *diurnal); err != nil {
+		*seed, uint32(*sample), uint32(*start), *anomBin, *diurnal, uint16(*segFmt)); err != nil {
 		fmt.Fprintln(os.Stderr, "flowgen:", err)
 		os.Exit(1)
 	}
 }
 
 func run(out, scenarioName string, bins int, binSec uint32, pops, flowsBin, hosts, servers int,
-	seed uint64, sample, start uint32, anomBin int, diurnal bool) error {
-	store, err := nfstore.Create(out, binSec)
+	seed uint64, sample, start uint32, anomBin int, diurnal bool, segFmt uint16) error {
+	store, err := nfstore.CreateFormat(out, binSec, segFmt)
 	if err != nil {
 		return err
 	}

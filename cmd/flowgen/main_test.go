@@ -2,6 +2,8 @@ package main
 
 import (
 	"testing"
+
+	"repro/internal/nfstore"
 )
 
 func TestScenarioPlacements(t *testing.T) {
@@ -40,12 +42,12 @@ func TestScenarioPlacements(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir() + "/store"
-	err := run(dir, "portscan", 4, 300, 2, 100, 500, 100, 1, 1, 1_300_000_200, 2, false)
+	err := run(dir, "portscan", 4, 300, 2, 100, 500, 100, 1, 1, 1_300_000_200, 2, false, nfstore.DefaultSegmentFormat)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Running again into the same store must fail (Create refuses).
-	if err := run(dir, "quiet", 2, 300, 1, 10, 10, 10, 1, 1, 0, 0, false); err == nil {
+	if err := run(dir, "quiet", 2, 300, 1, 10, 10, 10, 1, 1, 0, 0, false, nfstore.DefaultSegmentFormat); err == nil {
 		t.Fatal("second run into the same directory must fail")
 	}
 }

@@ -96,6 +96,8 @@ func main() {
 			"how long finished job results stay fetchable (0 = 15m)")
 		zmCache = flag.Int("zonemap-cache", 0,
 			"decoded zone-map sidecars cached in memory, LRU beyond (0 = 4096)")
+		segFormat = flag.Int("segment-format", 0,
+			"on-disk format for newly created segments: 1 = fixed rows, 2 = column blocks (0 = store default)")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), `usage: rcad -store DIR [flags]
@@ -155,7 +157,8 @@ Flags:
 		rootcause.WithJobWorkers(*jobWorkers),
 		rootcause.WithJobQueueDepth(*jobQueue),
 		rootcause.WithResultTTL(*resultTTL),
-		rootcause.WithZoneMapCacheSize(*zmCache))
+		rootcause.WithZoneMapCacheSize(*zmCache),
+		rootcause.WithSegmentFormat(uint16(*segFormat)))
 	if err != nil {
 		log.Fatal("rcad: ", err)
 	}
@@ -307,14 +310,26 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	for _, j := range s.sys.Jobs() {
 		jobsByState[j.State]++
 	}
+	// Segment counts by on-disk format ("v1": n, "v2": m) so operators can
+	// watch a migration converge; a per-segment header sniff is cheap at
+	// the bin counts a store holds. Errors degrade to an absent field —
+	// health must answer even over a half-written store.
+	formats := map[string]int{}
+	if counts, err := s.sys.Store().SegmentFormats(); err == nil {
+		for v, n := range counts {
+			formats[fmt.Sprintf("v%d", v)] = n
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"store_span":    span.String(),
-		"has_data":      ok,
-		"query_stats":   s.sys.QueryStats(),
-		"jobs":          jobsByState,
-		"incidents":     s.sys.IncidentCounts(),
-		"event_streams": s.sseStreams.Load(),
+		"status":          "ok",
+		"store_span":      span.String(),
+		"has_data":        ok,
+		"query_stats":     s.sys.QueryStats(),
+		"segment_formats": formats,
+		"write_format":    fmt.Sprintf("v%d", s.sys.Store().SegmentFormat()),
+		"jobs":            jobsByState,
+		"incidents":       s.sys.IncidentCounts(),
+		"event_streams":   s.sseStreams.Load(),
 	})
 }
 

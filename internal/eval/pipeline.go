@@ -61,6 +61,11 @@ type PipelineConfig struct {
 	// full ground truth (see IncidentScore). Composite scenarios prove
 	// one correlated extraction recovers every cause.
 	Incidents bool
+	// SegmentFormat selects the flow-store segment format the scenario
+	// stores are written in (nfstore.FormatV1 or FormatV2; 0 = the
+	// library default). Scores must be identical across formats — CI
+	// compares the reports byte for byte.
+	SegmentFormat uint16
 }
 
 // ComboScore is the outcome of one scenario × detector × miner cell.
@@ -235,9 +240,13 @@ func RunMatrix(cfg PipelineConfig) (*MatrixReport, error) {
 // configured).
 func runScenarioMatrix(def gen.Def, cfg PipelineConfig, workDir string, detectors, miners []string) ([]ComboScore, *IncidentScore, error) {
 	ctx := context.Background()
+	var sysOpts []rootcause.Option
+	if cfg.SegmentFormat != 0 {
+		sysOpts = append(sysOpts, rootcause.WithSegmentFormat(cfg.SegmentFormat))
+	}
 	sys, err := rootcause.Create(rootcause.Config{
 		StoreDir: filepath.Join(workDir, "scenario-"+def.Name),
-	})
+	}, sysOpts...)
 	if err != nil {
 		return nil, nil, err
 	}

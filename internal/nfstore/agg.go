@@ -55,14 +55,58 @@ type KeyCount struct {
 	Count uint64 // accumulated weight
 }
 
+// featColumn maps a mined traffic feature to the storage column holding
+// it, so TopN over a columnar segment decodes only that column. Unknown
+// features fall back to a full decode.
+func featColumn(f flow.Feature) nffilter.ColumnSet {
+	switch f {
+	case flow.FeatSrcIP:
+		return nffilter.ColumnSet(0).With(nffilter.ColSrcIP)
+	case flow.FeatDstIP:
+		return nffilter.ColumnSet(0).With(nffilter.ColDstIP)
+	case flow.FeatSrcPort:
+		return nffilter.ColumnSet(0).With(nffilter.ColSrcPort)
+	case flow.FeatDstPort:
+		return nffilter.ColumnSet(0).With(nffilter.ColDstPort)
+	case flow.FeatProto:
+		return nffilter.ColumnSet(0).With(nffilter.ColProto)
+	default:
+		return nffilter.AllColumns
+	}
+}
+
+// weightColumns lists the columns a weight dimension reads (none for flow
+// counting). Unknown weights fall back to a full decode.
+func weightColumns(w Weight) nffilter.ColumnSet {
+	switch w {
+	case ByFlows:
+		return 0
+	case ByPackets:
+		return nffilter.ColumnSet(0).With(nffilter.ColPackets)
+	case ByBytes:
+		return nffilter.ColumnSet(0).With(nffilter.ColBytes)
+	default:
+		return nffilter.AllColumns
+	}
+}
+
 // TopN aggregates matching records by a single traffic feature and returns
 // the k heaviest values — nfdump's "-s" statistic, which the paper's GUI
 // surfaces next to extracted itemsets. The scan runs through the pruned,
-// parallel query engine; unlike Count and Summaries it cannot be answered
-// from sidecars alone, because zone maps keep no per-value histograms.
+// parallel query engine with the projection narrowed to the feature and
+// weight columns; unlike Count and Summaries it cannot be answered from
+// sidecars alone, because zone maps keep no per-value histograms.
 func (s *Store) TopN(ctx context.Context, iv flow.Interval, filter *nffilter.Filter, feat flow.Feature, weight Weight, k int) ([]KeyCount, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	plan, err := s.planSegments(iv, filter)
+	if err != nil {
+		return nil, err
+	}
+	opts := scanOpts{iv: iv, filter: filter, proj: featColumn(feat) | weightColumns(weight)}
 	acc := make(map[uint32]uint64)
-	err := s.Query(ctx, iv, filter, func(r *flow.Record) error {
+	err = s.execPlan(ctx, plan, opts, func(r *flow.Record) error {
 		acc[feat.Value(r)] += weight.Of(r)
 		return nil
 	})

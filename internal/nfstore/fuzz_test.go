@@ -1,0 +1,141 @@
+package nfstore
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/nffilter"
+)
+
+// fuzzBlockSeeds are the in-code seed inputs for FuzzDecodeBlock; the
+// same bytes are committed under testdata/fuzz/ (see
+// TestWriteFuzzCorpus) so `go test -fuzz` starts from structure-aware
+// corpora even when run from a clean checkout.
+func fuzzBlockSeeds() [][]byte {
+	recs := goldenRecords()
+	seeds := [][]byte{
+		appendBlock(nil, recs[:1]),
+		appendBlock(nil, recs[:300]),
+		appendBlock(nil, recs),
+		{},
+		bytes.Repeat([]byte{0}, blockHeaderSize),
+	}
+	// A few structured mutants: flipped magic, inflated count, clipped tail.
+	m := append([]byte(nil), seeds[1]...)
+	m[0] ^= 0xff
+	seeds = append(seeds, m)
+	m = append([]byte(nil), seeds[1]...)
+	m[4] = 0xff
+	seeds = append(seeds, m, seeds[1][:len(seeds[1])/2])
+	return seeds
+}
+
+// FuzzDecodeBlock drives the block decoder stack — header, zone-map
+// meta, column sections, row materialization — over arbitrary bytes.
+// Any input may error; none may panic or hang.
+func FuzzDecodeBlock(f *testing.F) {
+	for _, s := range fuzzBlockSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := blockReader{br: bufio.NewReader(bytes.NewReader(data))}
+		count, payload, err := rd.next()
+		if err != nil {
+			return
+		}
+		var meta zoneMap
+		if err := decodeBlockMeta(payload, count, &meta); err != nil {
+			t.Fatalf("readBlock accepted a payload decodeBlockMeta rejects: %v", err)
+		}
+		var batch colBatch
+		if err := decodeBlockColumns(payload[blockMetaSize:], count, nffilter.AllColumns, &batch); err != nil {
+			return
+		}
+		var r flow.Record
+		for i := 0; i < count; i++ {
+			batch.fill(&r, i, nffilter.AllColumns)
+		}
+	})
+}
+
+// fuzzSegmentSeeds: whole segment files, both formats, valid and broken.
+func fuzzSegmentSeeds(tb testing.TB) [][]byte {
+	var seeds [][]byte
+	for _, format := range []uint16{FormatV1, FormatV2} {
+		var hdr [segHeaderSize]byte
+		encodeSegHeader(hdr[:], format, 0, 300)
+		seeds = append(seeds, hdr[:]) // header-only (empty segment)
+		path, _ := writeGoldenSegment(tb, format)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, raw, raw[:len(raw)-9])
+	}
+	var future [segHeaderSize]byte
+	encodeSegHeader(future[:], segVersionMax+3, 0, 300)
+	seeds = append(seeds, future[:], []byte("not a segment at all"))
+	return seeds
+}
+
+// FuzzDecodeSegment plants arbitrary bytes as a bin-0 segment file and
+// runs the full query path over them: header validation, per-format
+// scan, lazy sidecar rebuild. Errors are expected; panics are bugs.
+func FuzzDecodeSegment(f *testing.F) {
+	for _, s := range fuzzSegmentSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		s, err := CreateFormat(dir, 300, FormatV2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if err := os.WriteFile(s.segPath(0), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		iv := flow.Interval{Start: 0, End: 300}
+		filter, err := nffilter.Parse("proto udp and dst port 53")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		s.Query(ctx, iv, nil, func(*flow.Record) error { return nil })
+		s.Query(ctx, iv, filter, func(*flow.Record) error { return nil })
+		s.Count(ctx, iv, filter)
+	})
+}
+
+// TestWriteFuzzCorpus materializes the in-code seeds as corpus files in
+// `go test fuzz v1` encoding under testdata/fuzz/<Target>/, where the
+// fuzzing engine picks them up. Gated: run with UPDATE_GOLDEN=1 after
+// changing the seed sets; the files are committed.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("UPDATE_GOLDEN") == "" {
+		t.Skip("corpus committed; set UPDATE_GOLDEN=1 to regenerate")
+	}
+	write := func(target string, seeds [][]byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("wrote %d corpus files to %s", len(seeds), dir)
+	}
+	write("FuzzDecodeBlock", fuzzBlockSeeds())
+	write("FuzzDecodeSegment", fuzzSegmentSeeds(t))
+}

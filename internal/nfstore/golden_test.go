@@ -1,0 +1,130 @@
+package nfstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+// goldenRecords builds the fixture record set deterministically — its own
+// tiny LCG, no math/rand, so the fixtures never move when the standard
+// library's generator changes. The set exercises both dictionary shapes
+// (constant columns, small dictionaries, >256 distinct source ports
+// forcing the raw fallback) and non-monotonic timestamps and counters.
+func goldenRecords() []flow.Record {
+	state := uint64(0x2545F4914F6CDD1D)
+	next := func(mod uint64) uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return (state >> 33) % mod
+	}
+	recs := make([]flow.Record, 600)
+	for i := range recs {
+		recs[i] = flow.Record{
+			Start:   uint32(next(300)),
+			Dur:     uint32(next(10_000)),
+			SrcIP:   flow.IPFromOctets(10, 0, byte(next(4)), byte(next(200))),
+			DstIP:   flow.IPFromOctets(192, 0, 2, byte(next(30))),
+			SrcPort: uint16(1024 + next(20_000)), // ~600 distinct: raw fallback
+			DstPort: []uint16{22, 53, 80, 443}[next(4)],
+			Proto:   []flow.Protocol{flow.ProtoTCP, flow.ProtoUDP, flow.ProtoICMP}[next(3)],
+			Router:  uint16(next(4)),
+			Anno:    flow.Annotation(next(3)),
+			Packets: 1 + next(1_000_000),
+		}
+		recs[i].Bytes = recs[i].Packets * (40 + next(1400))
+		if recs[i].Proto == flow.ProtoTCP {
+			recs[i].Flags = uint8(next(64))
+		}
+	}
+	return recs
+}
+
+func goldenPath(format uint16) string {
+	name := map[uint16]string{FormatV1: "segment_v1.golden", FormatV2: "segment_v2.golden"}[format]
+	return filepath.Join("testdata", name)
+}
+
+// writeGoldenSegment encodes the fixture records as a bin-0 segment of
+// the given format through the production writer.
+func writeGoldenSegment(tb testing.TB, format uint16) (path string, recs []flow.Record) {
+	tb.Helper()
+	dir := tb.TempDir()
+	s, err := CreateFormat(dir, 300, format)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer s.Close()
+	recs = goldenRecords()
+	for i := range recs {
+		if err := s.Add(&recs[i]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return s.segPath(0), recs
+}
+
+// TestGoldenSegments pins the on-disk bytes of both formats. A fixture
+// mismatch means the encoder output changed: that breaks every store
+// already on disk and must come with a new format version, not a silent
+// byte shift. Regenerate intentionally with UPDATE_GOLDEN=1.
+func TestGoldenSegments(t *testing.T) {
+	for _, format := range []uint16{FormatV1, FormatV2} {
+		path, recs := writeGoldenSegment(t, format)
+		enc, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden := goldenPath(format)
+
+		if os.Getenv("UPDATE_GOLDEN") != "" {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, enc, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d bytes)", golden, len(enc))
+			continue
+		}
+
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing fixture (run with UPDATE_GOLDEN=1 to create): %v", err)
+		}
+		if !bytes.Equal(enc, want) {
+			t.Errorf("v%d encoder output diverges from %s (%d vs %d bytes): "+
+				"on-disk format changed — bump the format version instead",
+				format, golden, len(enc), len(want))
+		}
+
+		// The fixture also decodes exactly, through a store that never
+		// saw the writer: copy it in as bin 0 and read it back.
+		dir := t.TempDir()
+		s, err := CreateFormat(dir, 300, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(s.segPath(0), want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Records(t.Context(), flow.Interval{Start: 0, End: 300}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("v%d fixture decoded %d records, want %d", format, len(got), len(recs))
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				t.Fatalf("v%d fixture record %d:\n got %+v\nwant %+v", format, i, got[i], recs[i])
+			}
+		}
+		s.Close()
+	}
+}

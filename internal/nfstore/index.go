@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/flow"
+	"repro/internal/nffilter"
 )
 
 // idxSuffix is appended to a segment path to name its zone-map sidecar
@@ -200,7 +201,7 @@ func (s *Store) buildZoneMapPrefix(ctx context.Context, bin uint32, limit int64)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return nil, fmt.Errorf("nfstore: segment %d header: %w", bin, err)
 	}
-	gotBin, gotBinSec, err := decodeSegHeader(hdr)
+	gotBin, gotBinSec, version, err := decodeSegHeader(hdr)
 	if err != nil {
 		return nil, fmt.Errorf("nfstore: segment %d: %w", bin, err)
 	}
@@ -210,6 +211,36 @@ func (s *Store) buildZoneMapPrefix(ctx context.Context, bin uint32, limit int64)
 		return nil, fmt.Errorf("nfstore: segment %d header mismatch (bin %d, width %d)", bin, gotBin, gotBinSec)
 	}
 	z := newZoneMap()
+	if version == FormatV2 {
+		var (
+			batch    colBatch
+			rec      flow.Record
+			consumed = int64(segHeaderSize)
+		)
+		rd := blockReader{br: br}
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			count, payload, err := rd.next()
+			if err == io.EOF {
+				z.coveredSize = consumed
+				z.format = FormatV2
+				return z, nil
+			}
+			if err != nil {
+				return nil, fmt.Errorf("nfstore: segment %d: %w", bin, err)
+			}
+			consumed += blockHeaderSize + int64(len(payload))
+			if err := decodeBlockColumns(payload[blockMetaSize:], count, nffilter.AllColumns, &batch); err != nil {
+				return nil, fmt.Errorf("nfstore: segment %d: %w", bin, err)
+			}
+			for i := 0; i < count; i++ {
+				batch.fill(&rec, i, nffilter.AllColumns)
+				z.add(&rec)
+			}
+		}
+	}
 	buf := make([]byte, RecordSize)
 	var rec flow.Record
 	for n := 0; ; n++ {
@@ -220,6 +251,9 @@ func (s *Store) buildZoneMapPrefix(ctx context.Context, bin uint32, limit int64)
 		}
 		if _, err := io.ReadFull(br, buf); err != nil {
 			if err == io.EOF {
+				// add() maintained coveredSize via the fixed-row formula,
+				// which at a clean EOF equals the bytes consumed.
+				z.format = FormatV1
 				return z, nil
 			}
 			return nil, fmt.Errorf("nfstore: segment %d read: %w", bin, err)

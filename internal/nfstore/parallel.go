@@ -1,11 +1,7 @@
 package nfstore
 
 import (
-	"bufio"
 	"context"
-	"fmt"
-	"io"
-	"os"
 	"runtime"
 	"sync/atomic"
 
@@ -48,11 +44,21 @@ type Stats struct {
 	// SegmentsAggregated counts segments answered entirely from their
 	// sidecar by an aggregation pushdown (Count, Summaries).
 	SegmentsAggregated uint64 `json:"segments_aggregated"`
-	// RecordsScanned counts records decoded from disk.
+	// RecordsScanned counts records decoded from disk (for columnar
+	// segments: records in blocks whose columns were decoded — rows in
+	// pruned or aggregated blocks are never decoded and never counted).
 	RecordsScanned uint64 `json:"records_scanned"`
 	// SidecarsBuilt counts zone-map sidecars written (at flush time or
 	// lazily while scanning an unindexed segment).
 	SidecarsBuilt uint64 `json:"sidecars_built"`
+	// BlocksScanned counts v2 column blocks whose columns were decoded.
+	BlocksScanned uint64 `json:"blocks_scanned"`
+	// BlocksPruned counts v2 column blocks skipped because their block
+	// zone map proved the filter (or the span) could not match.
+	BlocksPruned uint64 `json:"blocks_pruned"`
+	// BlocksAggregated counts v2 column blocks answered entirely from
+	// their block zone-map totals by an aggregation pushdown.
+	BlocksAggregated uint64 `json:"blocks_aggregated"`
 }
 
 // storeStats holds the live atomic counters behind Stats.
@@ -63,6 +69,9 @@ type storeStats struct {
 	segmentsAggregated atomic.Uint64
 	recordsScanned     atomic.Uint64
 	sidecarsBuilt      atomic.Uint64
+	blocksScanned      atomic.Uint64
+	blocksPruned       atomic.Uint64
+	blocksAggregated   atomic.Uint64
 }
 
 // Stats returns a snapshot of the store's scan counters.
@@ -74,6 +83,9 @@ func (s *Store) Stats() Stats {
 		SegmentsAggregated: s.stats.segmentsAggregated.Load(),
 		RecordsScanned:     s.stats.recordsScanned.Load(),
 		SidecarsBuilt:      s.stats.sidecarsBuilt.Load(),
+		BlocksScanned:      s.stats.blocksScanned.Load(),
+		BlocksPruned:       s.stats.blocksPruned.Load(),
+		BlocksAggregated:   s.stats.blocksAggregated.Load(),
 	}
 }
 
@@ -85,6 +97,9 @@ func (s *Store) ResetStats() {
 	s.stats.segmentsAggregated.Store(0)
 	s.stats.recordsScanned.Store(0)
 	s.stats.sidecarsBuilt.Store(0)
+	s.stats.blocksScanned.Store(0)
+	s.stats.blocksPruned.Store(0)
+	s.stats.blocksAggregated.Store(0)
 }
 
 // SetParallelism bounds the number of segments a query scans concurrently:
@@ -175,8 +190,10 @@ func (s *Store) planSegmentsIn(bins []uint32, iv flow.Interval, filter *nffilter
 
 // execPlan scans the planned segments and streams matches to fn in bin
 // order, choosing serial or parallel execution by the configured worker
-// bound.
-func (s *Store) execPlan(ctx context.Context, plan []segPlan, iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
+// bound. Span and filter matching happen inside scanSegment (where the
+// columnar path can prune blocks and evaluate vectorized); fn only
+// consumes survivors.
+func (s *Store) execPlan(ctx context.Context, plan []segPlan, opts scanOpts, fn func(*flow.Record) error) error {
 	if len(plan) == 0 {
 		return nil
 	}
@@ -185,32 +202,19 @@ func (s *Store) execPlan(ctx context.Context, plan []segPlan, iv flow.Interval, 
 		k = len(plan)
 	}
 	if k <= 1 {
-		return s.execSerial(ctx, plan, iv, filter, fn)
+		return s.execSerial(ctx, plan, opts, fn)
 	}
-	return s.execParallel(ctx, k, plan, iv, filter, fn)
+	return s.execParallel(ctx, k, plan, opts, fn)
 }
 
 // execSerial scans the plan one segment at a time on the caller's
 // goroutine.
-func (s *Store) execSerial(ctx context.Context, plan []segPlan, iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
+func (s *Store) execSerial(ctx context.Context, plan []segPlan, opts scanOpts, fn func(*flow.Record) error) error {
 	for _, p := range plan {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		var zb *zoneMap
-		if p.buildIdx {
-			zb = newZoneMap()
-		}
-		err := s.iterSegment(ctx, p.bin, zb, func(r *flow.Record) error {
-			if !iv.Contains(r.Start) {
-				return nil
-			}
-			if filter != nil && !filter.Match(r) {
-				return nil
-			}
-			return fn(r)
-		})
-		if err != nil {
+		if err := s.scanSegment(ctx, p, opts, fn); err != nil {
 			return err
 		}
 	}
@@ -232,7 +236,7 @@ type segResult struct {
 // length (a warm-up sweep can plan tens of thousands of segments). An fn
 // error or a context cancellation tears the pool down promptly: every
 // worker send selects on ctx.
-func (s *Store) execParallel(ctx context.Context, k int, plan []segPlan, iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error {
+func (s *Store) execParallel(ctx context.Context, k int, plan []segPlan, opts scanOpts, fn func(*flow.Record) error) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -242,7 +246,7 @@ func (s *Store) execParallel(ctx context.Context, k int, plan []segPlan, iv flow
 		results[i] = res
 		go func(p segPlan) {
 			defer close(res.batches)
-			res.err = s.scanSegmentBatches(ctx, p, iv, filter, res.batches)
+			res.err = s.scanSegmentBatches(ctx, p, opts, res.batches)
 		}(plan[i])
 	}
 	next := 0
@@ -280,11 +284,7 @@ func (s *Store) execParallel(ctx context.Context, k int, plan []segPlan, iv flow
 
 // scanSegmentBatches scans one segment and sends matched records to out in
 // batches of queryBatchSize.
-func (s *Store) scanSegmentBatches(ctx context.Context, p segPlan, iv flow.Interval, filter *nffilter.Filter, out chan<- []flow.Record) error {
-	var zb *zoneMap
-	if p.buildIdx {
-		zb = newZoneMap()
-	}
+func (s *Store) scanSegmentBatches(ctx context.Context, p segPlan, opts scanOpts, out chan<- []flow.Record) error {
 	batch := make([]flow.Record, 0, queryBatchSize)
 	flush := func() error {
 		if len(batch) == 0 {
@@ -298,13 +298,7 @@ func (s *Store) scanSegmentBatches(ctx context.Context, p segPlan, iv flow.Inter
 		batch = make([]flow.Record, 0, queryBatchSize)
 		return nil
 	}
-	err := s.iterSegment(ctx, p.bin, zb, func(r *flow.Record) error {
-		if !iv.Contains(r.Start) {
-			return nil
-		}
-		if filter != nil && !filter.Match(r) {
-			return nil
-		}
+	err := s.scanSegment(ctx, p, opts, func(r *flow.Record) error {
 		batch = append(batch, *r)
 		if len(batch) == queryBatchSize {
 			return flush()
@@ -315,63 +309,4 @@ func (s *Store) scanSegmentBatches(ctx context.Context, p segPlan, iv flow.Inter
 		return err
 	}
 	return flush()
-}
-
-// iterSegment streams every decoded record of one segment file to emit,
-// checking the context every ctxCheckStride records. When zb is non-nil it
-// accumulates the segment's zone map and persists it (best-effort) after a
-// clean full scan — the lazy index build that upgrades pre-sidecar stores.
-func (s *Store) iterSegment(ctx context.Context, bin uint32, zb *zoneMap, emit func(*flow.Record) error) error {
-	s.stats.segmentsScanned.Add(1)
-	f, err := os.Open(s.segPath(bin))
-	if err != nil {
-		return fmt.Errorf("nfstore: open segment %d: %w", bin, err)
-	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
-	hdr := make([]byte, segHeaderSize)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return fmt.Errorf("nfstore: segment %d header: %w", bin, err)
-	}
-	gotBin, gotBinSec, err := decodeSegHeader(hdr)
-	if err != nil {
-		return fmt.Errorf("nfstore: segment %d: %w", bin, err)
-	}
-	if gotBin != bin || gotBinSec != s.binSeconds {
-		return fmt.Errorf("nfstore: segment %d header mismatch (bin %d, width %d)", bin, gotBin, gotBinSec)
-	}
-	var scanned uint64
-	defer func() { s.stats.recordsScanned.Add(scanned) }()
-	var rec flow.Record
-	buf := make([]byte, RecordSize)
-	for n := 0; ; n++ {
-		if n%ctxCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-		if _, err := io.ReadFull(br, buf); err != nil {
-			if err == io.EOF {
-				if zb != nil {
-					// Persisting the rebuilt sidecar is an accelerator, not
-					// a correctness requirement; a failed write only means
-					// the next query scans again.
-					_ = s.writeZoneMap(bin, zb)
-				}
-				return nil
-			}
-			if err == io.ErrUnexpectedEOF {
-				return fmt.Errorf("nfstore: segment %d truncated", bin)
-			}
-			return fmt.Errorf("nfstore: segment %d read: %w", bin, err)
-		}
-		decodeRecord(buf, &rec)
-		scanned++
-		if zb != nil {
-			zb.add(&rec)
-		}
-		if err := emit(&rec); err != nil {
-			return err
-		}
-	}
 }

@@ -112,11 +112,12 @@ func (z *zoneMap) matchesAll(n nffilter.Node) bool {
 }
 
 // canMatchIP checks an exact-address predicate against the IP range bounds
-// and the Bloom filter of the relevant side(s).
+// and the Bloom filter of the relevant side(s). Block zone maps carry no
+// Blooms (noBloom) and rely on the range bounds alone.
 func (z *zoneMap) canMatchIP(dir nffilter.Dir, addr flow.IP) bool {
 	a := uint32(addr)
-	src := a >= z.minSrcIP && a <= z.maxSrcIP && z.bloomSrc.mayContain(a)
-	dst := a >= z.minDstIP && a <= z.maxDstIP && z.bloomDst.mayContain(a)
+	src := a >= z.minSrcIP && a <= z.maxSrcIP && (z.noBloom || z.bloomSrc.mayContain(a))
+	dst := a >= z.minDstIP && a <= z.maxDstIP && (z.noBloom || z.bloomDst.mayContain(a))
 	switch dir {
 	case nffilter.DirSrc:
 		return src

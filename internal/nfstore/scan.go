@@ -1,0 +1,342 @@
+package nfstore
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/flow"
+	"repro/internal/nffilter"
+)
+
+// scanOpts bundles what a segment scan applies beyond the plan entry.
+type scanOpts struct {
+	iv     flow.Interval
+	filter *nffilter.Filter
+	// proj is the set of columns emitted records must carry (the filter's
+	// own columns are added internally; Start is decoded for the interval
+	// mask except in blocks provably inside iv). v1 segments ignore it —
+	// fixed rows decode whole.
+	proj nffilter.ColumnSet
+	// all disables the interval mask: every record of the segment is
+	// emitted (Migrate's raw rewrite path).
+	all bool
+	// agg, when non-nil, consumes whole-block totals for v2 blocks whose
+	// zone map proves them fully inside iv and fully matching, instead of
+	// their rows (Count/Summaries pushdown below segment granularity). It
+	// may be called from worker goroutines concurrently — implementations
+	// must be safe for that.
+	agg func(flows, packets, bytes uint64)
+}
+
+// scanSegment opens one planned segment, dispatches on the format version
+// in its header and streams matching records to emit in file order. When
+// the plan asks for it (buildIdx), a zone map of the whole segment is
+// rebuilt as a side effect and persisted best-effort.
+func (s *Store) scanSegment(ctx context.Context, p segPlan, opts scanOpts, emit func(*flow.Record) error) error {
+	s.stats.segmentsScanned.Add(1)
+	f, err := os.Open(s.segPath(p.bin))
+	if err != nil {
+		return fmt.Errorf("nfstore: open segment %d: %w", p.bin, err)
+	}
+	defer f.Close()
+	br := segReaders.Get().(*bufio.Reader)
+	br.Reset(f)
+	defer segReaders.Put(br)
+	hdr := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return fmt.Errorf("nfstore: segment %d header: %w", p.bin, err)
+	}
+	gotBin, gotBinSec, version, err := decodeSegHeader(hdr)
+	if err != nil {
+		return fmt.Errorf("nfstore: segment %d: %w", p.bin, err)
+	}
+	if gotBin != p.bin || gotBinSec != s.binSeconds {
+		return fmt.Errorf("nfstore: segment %d header mismatch (bin %d, width %d)", p.bin, gotBin, gotBinSec)
+	}
+	var zb *zoneMap
+	if p.buildIdx {
+		zb = newZoneMap()
+	}
+	if version == FormatV2 {
+		return s.scanV2(ctx, br, p.bin, zb, opts, emit)
+	}
+	return s.scanV1(ctx, br, p.bin, zb, opts, emit)
+}
+
+// scanV1 streams a fixed-row segment body: decode every record, apply the
+// interval mask and the filter per row. The context is checked every
+// ctxCheckStride records.
+func (s *Store) scanV1(ctx context.Context, br *bufio.Reader, bin uint32, zb *zoneMap, opts scanOpts, emit func(*flow.Record) error) error {
+	var scanned uint64
+	defer func() { s.stats.recordsScanned.Add(scanned) }()
+	var rec flow.Record
+	buf := make([]byte, RecordSize)
+	for n := 0; ; n++ {
+		if n%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if _, err := io.ReadFull(br, buf); err != nil {
+			if err == io.EOF {
+				if zb != nil {
+					// add() maintains the v1 covered-size formula, which at
+					// a clean EOF equals the bytes consumed. Persisting the
+					// rebuilt sidecar is an accelerator, not a correctness
+					// requirement; a failed write only means the next query
+					// scans again.
+					zb.format = FormatV1
+					_ = s.writeZoneMap(bin, zb)
+				}
+				return nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return fmt.Errorf("nfstore: segment %d truncated", bin)
+			}
+			return fmt.Errorf("nfstore: segment %d read: %w", bin, err)
+		}
+		decodeRecord(buf, &rec)
+		scanned++
+		if zb != nil {
+			zb.add(&rec)
+		}
+		if !opts.all && !opts.iv.Contains(rec.Start) {
+			continue
+		}
+		if opts.filter != nil && !opts.filter.Match(&rec) {
+			continue
+		}
+		if err := emit(&rec); err != nil {
+			return err
+		}
+	}
+}
+
+// segReaders pools the buffered readers used for segment scans so
+// concurrent queries do not re-allocate (and re-zero) a large buffer per
+// segment. The buffer is sized to hold any block the writer emits, which
+// keeps blockReader on its zero-copy path for well-formed segments.
+var segReaders = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 1<<19) }}
+
+// blockReader reads consecutive v2 column blocks from a buffered segment
+// reader, validating each header and checksum. When a whole block fits
+// in the reader's buffer, the payload is returned as a slice into that
+// buffer, so the common path never copies block bytes; blocks larger
+// than the buffer fall back to an owned scratch copy.
+type blockReader struct {
+	br      *bufio.Reader
+	scratch []byte
+}
+
+// next returns the next block's record count and payload. A clean end of
+// the segment returns io.EOF; anything short or mangled is an error. The
+// payload is valid only until the following next call — callers must
+// finish decoding a block before advancing.
+func (r *blockReader) next() (count int, payload []byte, err error) {
+	hdr, err := r.br.Peek(blockHeaderSize)
+	if err != nil {
+		if len(hdr) == 0 && err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("truncated block header")
+	}
+	count, plen, sum, err := decodeBlockHeader(hdr)
+	if err != nil {
+		return 0, nil, err
+	}
+	if full, perr := r.br.Peek(blockHeaderSize + plen); perr == nil {
+		payload = full[blockHeaderSize:]
+		if blockChecksum(payload) != sum {
+			return 0, nil, fmt.Errorf("block checksum mismatch")
+		}
+		_, _ = r.br.Discard(blockHeaderSize + plen)
+		return count, payload, nil
+	} else if perr != bufio.ErrBufferFull {
+		return 0, nil, fmt.Errorf("truncated block payload")
+	}
+	_, _ = r.br.Discard(blockHeaderSize)
+	r.scratch = growBytes(r.scratch, plen)
+	if _, err := io.ReadFull(r.br, r.scratch); err != nil {
+		return 0, nil, fmt.Errorf("truncated block payload")
+	}
+	if blockChecksum(r.scratch) != sum {
+		return 0, nil, fmt.Errorf("block checksum mismatch")
+	}
+	return count, r.scratch, nil
+}
+
+// scanV2 streams a columnar segment body block by block. Per block it
+// first consults the block zone map: provably irrelevant blocks are
+// skipped without decoding a single column, and (for aggregations) fully
+// covered, fully matching blocks are consumed as totals. Surviving blocks
+// decode only the columns the filter and the projection need, the filter
+// runs vectorized over the column batch, and only the selected rows are
+// materialized. Cancellation lands within one block header or one
+// ctxCheckStride of emitted records, whichever is sooner.
+func (s *Store) scanV2(ctx context.Context, br *bufio.Reader, bin uint32, zb *zoneMap, opts scanOpts, emit func(*flow.Record) error) error {
+	var root nffilter.Node
+	if opts.filter != nil {
+		root = opts.filter.Root()
+	}
+	// An AST with nodes the vectorized evaluator does not know falls back
+	// to per-row Eval over fully decoded records; nffilter.Requires is
+	// conservative the same way, so the full decode is already implied.
+	vec := root == nil || vecSupported(root)
+	dec := opts.proj.With(nffilter.ColStart) | nffilter.Requires(root)
+	// For blocks the zone map proves fully inside iv the per-row interval
+	// mask is a tautology, so Start is decoded only if the projection or
+	// the filter reads it.
+	decCovered := opts.proj | nffilter.Requires(root)
+	filterCols := nffilter.Requires(root)
+	if !vec || zb != nil {
+		dec = nffilter.AllColumns
+		decCovered = nffilter.AllColumns
+	}
+	pruning := !s.pruneOff.Load() && zb == nil
+	var scanned uint64
+	defer func() { s.stats.recordsScanned.Add(scanned) }()
+	var (
+		rec      flow.Record
+		batch    colBatch
+		meta     zoneMap
+		consumed = int64(segHeaderSize)
+		emitted  int
+	)
+	rd := blockReader{br: br}
+	ev := vecEvaluator{b: &batch}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		count, payload, err := rd.next()
+		if err == io.EOF {
+			if zb != nil {
+				zb.coveredSize = consumed
+				zb.format = FormatV2
+				_ = s.writeZoneMap(bin, zb)
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("nfstore: segment %d: %w", bin, err)
+		}
+		consumed += blockHeaderSize + int64(len(payload))
+		if err := decodeBlockMeta(payload, count, &meta); err != nil {
+			return fmt.Errorf("nfstore: segment %d: %w", bin, err)
+		}
+		if pruning && !opts.all {
+			if opts.agg != nil && meta.coversStarts(opts.iv) && (root == nil || meta.matchesAll(root)) {
+				opts.agg(uint64(count), meta.packets, meta.bytes)
+				s.stats.blocksAggregated.Add(1)
+				continue
+			}
+			if !meta.overlapsStart(opts.iv) || (root != nil && !meta.canMatch(root)) {
+				s.stats.blocksPruned.Add(1)
+				continue
+			}
+		}
+		s.stats.blocksScanned.Add(1)
+		covered := !opts.all && meta.coversStarts(opts.iv)
+		bdec := dec
+		if covered {
+			bdec = decCovered
+		}
+		sections := payload[blockMetaSize:]
+		var sel []bool
+		if vec && root != nil && zb == nil {
+			// Two-phase decode: only the filter's columns first, then the
+			// rest of the projection — and only when the mask selected
+			// anything. Blocks the filter rejects wholesale (the common
+			// case for a selective filter over background traffic) never
+			// pay for their timestamp, counter and address columns.
+			if err := decodeBlockColumns(sections, count, filterCols, &batch); err != nil {
+				return fmt.Errorf("nfstore: segment %d: %w", bin, err)
+			}
+			sel = ev.eval(root)
+			scanned += uint64(count)
+			none := true
+			for _, v := range sel {
+				if v {
+					none = false
+					break
+				}
+			}
+			if none {
+				ev.release(sel)
+				continue
+			}
+			if rest := bdec &^ filterCols; rest != 0 {
+				if err := decodeBlockColumns(sections, count, rest, &batch); err != nil {
+					ev.release(sel)
+					return fmt.Errorf("nfstore: segment %d: %w", bin, err)
+				}
+			}
+		} else {
+			if err := decodeBlockColumns(sections, count, bdec, &batch); err != nil {
+				return fmt.Errorf("nfstore: segment %d: %w", bin, err)
+			}
+			scanned += uint64(count)
+			if vec && root != nil {
+				sel = ev.eval(root)
+			}
+		}
+		if zb != nil {
+			for i := 0; i < count; i++ {
+				batch.fill(&rec, i, nffilter.AllColumns)
+				zb.add(&rec)
+			}
+		}
+		err = func() error {
+			for i := 0; i < count; i++ {
+				if sel != nil && !sel[i] {
+					continue
+				}
+				if !opts.all && !covered && !opts.iv.Contains(batch.start[i]) {
+					continue
+				}
+				batch.fill(&rec, i, bdec)
+				if !vec && opts.filter != nil && !opts.filter.Match(&rec) {
+					continue
+				}
+				if emitted%ctxCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
+				emitted++
+				if err := emit(&rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if sel != nil {
+			ev.release(sel)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// segmentVersion reads one segment's format version from its header.
+func (s *Store) segmentVersion(bin uint32) (uint16, error) {
+	f, err := os.Open(s.segPath(bin))
+	if err != nil {
+		return 0, fmt.Errorf("nfstore: open segment %d: %w", bin, err)
+	}
+	defer f.Close()
+	hdr := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return 0, fmt.Errorf("nfstore: segment %d header: %w", bin, err)
+	}
+	_, _, version, err := decodeSegHeader(hdr)
+	if err != nil {
+		return 0, fmt.Errorf("nfstore: segment %d: %w", bin, err)
+	}
+	return version, nil
+}

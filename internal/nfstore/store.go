@@ -34,6 +34,12 @@ const segPrefix = "nfcapd."
 type storeMeta struct {
 	Version    int    `json:"version"`
 	BinSeconds uint32 `json:"bin_seconds"`
+	// SegmentFormat is the format new segments are written in. Absent
+	// (zero) in metas written before the columnar format existed, which
+	// read as FormatV1 so old stores keep appending the bytes their other
+	// readers expect. Existing segments keep their own format either way —
+	// a store may hold a mix.
+	SegmentFormat uint16 `json:"segment_format,omitempty"`
 }
 
 // Store is a directory of time-binned flow segments. It is safe for
@@ -53,10 +59,11 @@ type Store struct {
 	mu   sync.RWMutex
 	open map[uint32]*segWriter // open segment writers by bin start
 
-	par      atomic.Int32 // query parallelism (0 = auto)
-	pruneOff atomic.Bool  // zone-map pruning disabled
-	zmc      zmCache      // decoded sidecars by bin (bounded LRU)
-	stats    storeStats   // scan counters
+	par       atomic.Int32  // query parallelism (0 = auto)
+	pruneOff  atomic.Bool   // zone-map pruning disabled
+	zmc       zmCache       // decoded sidecars by bin (bounded LRU)
+	stats     storeStats    // scan counters
+	segFormat atomic.Uint32 // format for newly created segments
 
 	// bgCtx cancels background work (async zone-map seed scans) at
 	// Close; seedWG tracks the outstanding goroutines.
@@ -66,23 +73,32 @@ type Store struct {
 }
 
 // newStore assembles a Store with its background-work context.
-func newStore(dir string, binSeconds uint32) *Store {
+func newStore(dir string, binSeconds uint32, format uint16) *Store {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Store{
+	s := &Store{
 		dir:        dir,
 		binSeconds: binSeconds,
 		open:       map[uint32]*segWriter{},
 		bgCtx:      ctx,
 		bgCancel:   cancel,
 	}
+	s.segFormat.Store(uint32(format))
+	return s
 }
 
 // segWriter is an append handle to one segment file.
 type segWriter struct {
-	f   *os.File
-	buf *bufio.Writer
-	n   int      // records written
-	zm  *zoneMap // live zone map (nil while a seed is pending or after it failed)
+	f      *os.File
+	buf    *bufio.Writer
+	format uint16   // body format of this segment (fixed at segment creation)
+	off    int64    // bytes the segment will hold once sealed and flushed
+	n      int      // records written
+	zm     *zoneMap // live zone map (nil while a seed is pending or after it failed)
+
+	// pend holds records of the current unsealed column block (FormatV2
+	// only); enc is the reusable block encode buffer.
+	pend []flow.Record
+	enc  []byte
 
 	// seed delivers the async prefix scan of a reopened pre-index
 	// segment (nil value = the scan failed or was canceled); delta
@@ -90,6 +106,23 @@ type segWriter struct {
 	// once it lands. Both are nil when no seed is in flight.
 	seed  chan *zoneMap
 	delta *zoneMap
+}
+
+// seal encodes the pending records as one column block and appends it to
+// the segment's write buffer. Called when a block fills and before every
+// flush, so on-disk bytes always end at a block boundary and sidecars
+// never summarize unwritten rows. No-op for fixed-row segments.
+func (w *segWriter) seal() error {
+	if len(w.pend) == 0 {
+		return nil
+	}
+	w.enc = appendBlock(w.enc[:0], w.pend)
+	if _, err := w.buf.Write(w.enc); err != nil {
+		return err
+	}
+	w.off += int64(len(w.enc))
+	w.pend = w.pend[:0]
+	return nil
 }
 
 // resolveSeed folds a completed async seed into the live zone map
@@ -113,8 +146,18 @@ func (w *segWriter) resolveSeed() {
 }
 
 // Create initializes a new store in dir (created if missing; must not
-// already contain a store) with the given bin width in seconds.
+// already contain a store) with the given bin width in seconds, writing
+// new segments in the default (columnar) format.
 func Create(dir string, binSeconds uint32) (*Store, error) {
+	return CreateFormat(dir, binSeconds, DefaultSegmentFormat)
+}
+
+// CreateFormat is Create with an explicit segment format for new segments
+// (FormatV1 fixed rows or FormatV2 column blocks).
+func CreateFormat(dir string, binSeconds uint32, format uint16) (*Store, error) {
+	if !validFormat(format) {
+		return nil, fmt.Errorf("nfstore: unknown segment format %d (supported: %d-%d)", format, FormatV1, segVersionMax)
+	}
 	if binSeconds == 0 {
 		binSeconds = DefaultBinSeconds
 	}
@@ -125,7 +168,7 @@ func Create(dir string, binSeconds uint32) (*Store, error) {
 	if _, err := os.Stat(metaPath); err == nil {
 		return nil, fmt.Errorf("nfstore: store already exists in %s", dir)
 	}
-	meta := storeMeta{Version: 1, BinSeconds: binSeconds}
+	meta := storeMeta{Version: 1, BinSeconds: binSeconds, SegmentFormat: format}
 	raw, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("nfstore: encode meta: %w", err)
@@ -133,7 +176,7 @@ func Create(dir string, binSeconds uint32) (*Store, error) {
 	if err := os.WriteFile(metaPath, raw, 0o644); err != nil {
 		return nil, fmt.Errorf("nfstore: write meta: %w", err)
 	}
-	return newStore(dir, binSeconds), nil
+	return newStore(dir, binSeconds, format), nil
 }
 
 // Open opens an existing store directory.
@@ -149,7 +192,29 @@ func Open(dir string) (*Store, error) {
 	if meta.BinSeconds == 0 {
 		return nil, errors.New("nfstore: meta has zero bin size")
 	}
-	return newStore(dir, meta.BinSeconds), nil
+	format := meta.SegmentFormat
+	if format == 0 {
+		format = FormatV1 // pre-columnar meta: keep appending v1 bytes
+	}
+	if !validFormat(format) {
+		return nil, fmt.Errorf("nfstore: meta declares segment format %d, which this build does not write (supported: %d-%d)", format, FormatV1, segVersionMax)
+	}
+	return newStore(dir, meta.BinSeconds, format), nil
+}
+
+// SegmentFormat returns the format newly created segments are written in.
+func (s *Store) SegmentFormat() uint16 { return uint16(s.segFormat.Load()) }
+
+// SetSegmentFormat changes the format for segments created after the call
+// (existing segments, including currently open writers, keep theirs). It
+// does not rewrite the persisted meta — a transient override for tests and
+// tools; use Migrate to convert data already on disk.
+func (s *Store) SetSegmentFormat(format uint16) error {
+	if !validFormat(format) {
+		return fmt.Errorf("nfstore: unknown segment format %d (supported: %d-%d)", format, FormatV1, segVersionMax)
+	}
+	s.segFormat.Store(uint32(format))
+	return nil
 }
 
 // BinSeconds returns the store's measurement bin width.
@@ -190,10 +255,20 @@ func (s *Store) Add(r *flow.Record) error {
 		}
 		s.open[bin] = w
 	}
-	var buf [RecordSize]byte
-	encodeRecord(buf[:], r)
-	if _, err := w.buf.Write(buf[:]); err != nil {
-		return fmt.Errorf("nfstore: append to bin %d: %w", bin, err)
+	if w.format == FormatV2 {
+		w.pend = append(w.pend, *r)
+		if len(w.pend) >= blockRecords {
+			if err := w.seal(); err != nil {
+				return fmt.Errorf("nfstore: append to bin %d: %w", bin, err)
+			}
+		}
+	} else {
+		var buf [RecordSize]byte
+		encodeRecord(buf[:], r)
+		if _, err := w.buf.Write(buf[:]); err != nil {
+			return fmt.Errorf("nfstore: append to bin %d: %w", bin, err)
+		}
+		w.off += RecordSize
 	}
 	w.n++
 	switch {
@@ -232,15 +307,27 @@ func (s *Store) openSegment(bin uint32) (*segWriter, error) {
 	}
 	w := &segWriter{f: f, buf: bufio.NewWriterSize(f, 1<<16)}
 	if st.Size() == 0 {
+		w.format = uint16(s.segFormat.Load())
 		var hdr [segHeaderSize]byte
-		encodeSegHeader(hdr[:], bin, s.binSeconds)
+		encodeSegHeader(hdr[:], w.format, bin, s.binSeconds)
 		if _, err := w.buf.Write(hdr[:]); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("nfstore: write segment header: %w", err)
 		}
+		w.off = segHeaderSize
 		w.zm = newZoneMap()
 		return w, nil
 	}
+	// An existing segment keeps the format its header declares, whatever
+	// the store's current default: formats are per-segment, fixed at
+	// creation.
+	version, err := s.segmentVersion(bin)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.format = version
+	w.off = st.Size()
 	// Appending to an existing segment: seed the live zone map from the
 	// sidecar if it is current, else by scanning — asynchronously, so the
 	// first append to a big pre-index archive segment is not an
@@ -278,6 +365,9 @@ func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for bin, w := range s.open {
+		if err := w.seal(); err != nil {
+			return fmt.Errorf("nfstore: flush bin %d: %w", bin, err)
+		}
 		if err := w.buf.Flush(); err != nil {
 			return fmt.Errorf("nfstore: flush bin %d: %w", bin, err)
 		}
@@ -299,6 +389,11 @@ func (s *Store) writeSidecar(bin uint32, w *segWriter) {
 		return
 	}
 	cp := *w.zm
+	// add()/merge() maintain the fixed-row covered-size formula; the
+	// writer knows the real flushed byte count for either format, so it
+	// stamps that (plus the segment's format) over the formula here.
+	cp.coveredSize = w.off
+	cp.format = w.format
 	_ = s.writeZoneMap(bin, &cp)
 }
 
@@ -320,7 +415,11 @@ func (s *Store) Close() error {
 	s.bgCtx, s.bgCancel = context.WithCancel(context.Background())
 	var firstErr error
 	for bin, w := range s.open {
-		if err := w.buf.Flush(); err != nil {
+		err := w.seal()
+		if err == nil {
+			err = w.buf.Flush()
+		}
+		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("nfstore: flush bin %d: %w", bin, err)
 			}
@@ -394,7 +493,8 @@ func (s *Store) Query(ctx context.Context, iv flow.Interval, filter *nffilter.Fi
 	if err != nil {
 		return err
 	}
-	if err := s.execPlan(ctx, plan, iv, filter, fn); err != nil {
+	opts := scanOpts{iv: iv, filter: filter, proj: nffilter.AllColumns}
+	if err := s.execPlan(ctx, plan, opts, fn); err != nil {
 		if errors.Is(err, ErrStopIteration) {
 			return nil
 		}
@@ -456,8 +556,11 @@ func (s *Store) Count(ctx context.Context, iv flow.Interval, filter *nffilter.Fi
 
 // countPlan answers a volume count over an already-planned segment set:
 // segments whose sidecar proves full coverage are aggregated without
-// scanning, the remainder goes through execPlan. Shared by Count and
-// Summaries.
+// scanning, the remainder goes through execPlan. Columnar segments push
+// the same aggregation down another level — fully covered, fully matching
+// blocks contribute their zone-map totals without decoding a row (the agg
+// sink below, accumulated atomically because parallel workers call it).
+// Shared by Count and Summaries.
 func (s *Store) countPlan(ctx context.Context, plan []segPlan, iv flow.Interval, filter *nffilter.Filter) (flows, packets, bytes uint64, err error) {
 	var root nffilter.Node
 	if filter != nil {
@@ -474,7 +577,18 @@ func (s *Store) countPlan(ctx context.Context, plan []segPlan, iv flow.Interval,
 		}
 		scan = append(scan, p)
 	}
-	err = s.execPlan(ctx, scan, iv, filter, func(r *flow.Record) error {
+	var aFlows, aPackets, aBytes atomic.Uint64
+	opts := scanOpts{
+		iv:     iv,
+		filter: filter,
+		proj:   nffilter.ColumnSet(0).With(nffilter.ColPackets).With(nffilter.ColBytes),
+		agg: func(f, p, b uint64) {
+			aFlows.Add(f)
+			aPackets.Add(p)
+			aBytes.Add(b)
+		},
+	}
+	err = s.execPlan(ctx, scan, opts, func(r *flow.Record) error {
 		flows++
 		packets += r.Packets
 		bytes += r.Bytes
@@ -483,5 +597,152 @@ func (s *Store) countPlan(ctx context.Context, plan []segPlan, iv flow.Interval,
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	return flows, packets, bytes, nil
+	return flows + aFlows.Load(), packets + aPackets.Load(), bytes + aBytes.Load(), nil
+}
+
+// Migrate rewrites every segment not already in the target format,
+// returning how many it converted. Each segment is rewritten atomically
+// (temp file + rename) with a fresh sidecar, one at a time under the
+// writer lock, so readers between segments see a consistent mixed-format
+// store and an interrupted migration loses nothing. Open writers for a
+// migrated bin are flushed and closed first (they reopen on the next
+// append, picking up the new format from the rewritten header).
+func (s *Store) Migrate(ctx context.Context, target uint16) (migrated int, err error) {
+	if !validFormat(target) {
+		return 0, fmt.Errorf("nfstore: unknown segment format %d (supported: %d-%d)", target, FormatV1, segVersionMax)
+	}
+	bins, err := s.Bins()
+	if err != nil {
+		return 0, err
+	}
+	for _, bin := range bins {
+		if err := ctx.Err(); err != nil {
+			return migrated, err
+		}
+		done, err := s.migrateSegment(ctx, bin, target)
+		if err != nil {
+			return migrated, err
+		}
+		if done {
+			migrated++
+		}
+	}
+	return migrated, nil
+}
+
+// migrateSegment converts one segment to the target format, reporting
+// whether a rewrite happened. Caller does NOT hold s.mu.
+func (s *Store) migrateSegment(ctx context.Context, bin uint32, target uint16) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w, ok := s.open[bin]; ok {
+		err := w.seal()
+		if err == nil {
+			err = w.buf.Flush()
+		}
+		cerr := w.f.Close()
+		delete(s.open, bin)
+		if err != nil {
+			return false, fmt.Errorf("nfstore: migrate bin %d: flush: %w", bin, err)
+		}
+		if cerr != nil {
+			return false, fmt.Errorf("nfstore: migrate bin %d: close: %w", bin, cerr)
+		}
+	}
+	version, err := s.segmentVersion(bin)
+	if err != nil {
+		return false, err
+	}
+	if version == target {
+		return false, nil
+	}
+	recs, err := s.readSegmentAll(ctx, bin)
+	if err != nil {
+		return false, err
+	}
+	tmp, err := os.CreateTemp(s.dir, segPrefix+"mig-*")
+	if err != nil {
+		return false, fmt.Errorf("nfstore: migrate bin %d: temp: %w", bin, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	var hdr [segHeaderSize]byte
+	encodeSegHeader(hdr[:], target, bin, s.binSeconds)
+	off := int64(segHeaderSize)
+	_, err = bw.Write(hdr[:])
+	z := newZoneMap()
+	if target == FormatV2 {
+		var enc []byte
+		for i := 0; i < len(recs) && err == nil; i += blockRecords {
+			end := min(i+blockRecords, len(recs))
+			enc = appendBlock(enc[:0], recs[i:end])
+			_, err = bw.Write(enc)
+			off += int64(len(enc))
+		}
+	} else {
+		var buf [RecordSize]byte
+		for i := range recs {
+			encodeRecord(buf[:], &recs[i])
+			if _, err = bw.Write(buf[:]); err != nil {
+				break
+			}
+			off += RecordSize
+		}
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return false, fmt.Errorf("nfstore: migrate bin %d: write: %w", bin, err)
+	}
+	if err := os.Rename(tmp.Name(), s.segPath(bin)); err != nil {
+		return false, fmt.Errorf("nfstore: migrate bin %d: rename: %w", bin, err)
+	}
+	for i := range recs {
+		z.add(&recs[i])
+	}
+	z.coveredSize = off
+	z.format = target
+	_ = s.writeZoneMap(bin, z) // accelerator only; scans rebuild if absent
+	return true, nil
+}
+
+// readSegmentAll decodes every record of one segment in file order,
+// whatever its format.
+func (s *Store) readSegmentAll(ctx context.Context, bin uint32) ([]flow.Record, error) {
+	var recs []flow.Record
+	opts := scanOpts{all: true, proj: nffilter.AllColumns}
+	err := s.scanSegment(ctx, segPlan{bin: bin}, opts, func(r *flow.Record) error {
+		recs = append(recs, *r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// SegmentFormats counts the on-disk segments by format version — the
+// mixed-store visibility surfaced by rcad's health endpoint and the
+// migrate tool's dry run.
+func (s *Store) SegmentFormats() (map[uint16]int, error) {
+	bins, err := s.Bins()
+	if err != nil {
+		return nil, err
+	}
+	counts := map[uint16]int{}
+	for _, bin := range bins {
+		v, err := s.segmentVersion(bin)
+		if err != nil {
+			return nil, err
+		}
+		counts[v]++
+	}
+	return counts, nil
 }

@@ -78,9 +78,13 @@ func bloomHash(v uint32) (h1, h2 uint64) {
 	return x, x>>32 | x<<32 | 1 // h2 forced odd so probes spread
 }
 
-// zoneMap is the in-memory form of one segment's sidecar.
+// zoneMap is the in-memory form of one segment's sidecar — and, with
+// noBloom set, of one v2 column block's embedded zone map (blocks carry
+// no Blooms; their IP pruning uses range bounds only).
 type zoneMap struct {
-	coveredSize int64 // segment bytes summarized (header + records)
+	coveredSize int64  // segment bytes summarized (header + body)
+	format      uint16 // segment body format the summary describes (0 = v1)
+	noBloom     bool   // Blooms absent (block metas): IP pruning skips them
 
 	count   uint64 // records
 	packets uint64
@@ -233,6 +237,7 @@ func encodeZoneMap(z *zoneMap, binStart, binSeconds uint32) []byte {
 	le := binary.LittleEndian
 	le.PutUint32(buf[0:], idxMagic)
 	le.PutUint16(buf[4:], idxVersion)
+	le.PutUint16(buf[6:], z.format)
 	le.PutUint32(buf[8:], binStart)
 	le.PutUint32(buf[12:], binSeconds)
 	le.PutUint64(buf[16:], uint64(z.coveredSize))
@@ -286,6 +291,7 @@ func decodeZoneMap(buf []byte, binStart, binSeconds uint32) (*zoneMap, error) {
 			gotBin, gotSec, binStart, binSeconds)
 	}
 	z := &zoneMap{
+		format:      le.Uint16(buf[6:]),
 		coveredSize: int64(le.Uint64(buf[16:])),
 		count:       le.Uint64(buf[24:]),
 		packets:     le.Uint64(buf[32:]),
@@ -314,8 +320,16 @@ func decodeZoneMap(buf []byte, binStart, binSeconds uint32) (*zoneMap, error) {
 	copy(z.protoBitmap[:], buf[80:112])
 	copy(z.bloomSrc[:], buf[160:160+bloomBytes])
 	copy(z.bloomDst[:], buf[160+bloomBytes:160+2*bloomBytes])
-	if want := segHeaderSize + int64(z.count)*RecordSize; z.coveredSize != want {
-		return nil, fmt.Errorf("nfstore: sidecar covers %d bytes but counts %d records", z.coveredSize, z.count)
+	// Cross-check the covered size against the record count. Only the
+	// fixed-row v1 format admits exact arithmetic (sidecars written before
+	// the format field carry 0 there and are all v1); for columnar
+	// segments the plausibility floor is one block.
+	if z.format <= FormatV1 {
+		if want := segHeaderSize + int64(z.count)*RecordSize; z.coveredSize != want {
+			return nil, fmt.Errorf("nfstore: sidecar covers %d bytes but counts %d records", z.coveredSize, z.count)
+		}
+	} else if z.coveredSize < segHeaderSize+blockHeaderSize+blockMetaSize {
+		return nil, fmt.Errorf("nfstore: sidecar covers %d bytes, too small for any %d-format segment", z.coveredSize, z.format)
 	}
 	return z, nil
 }

@@ -220,6 +220,7 @@ type callOptions struct {
 	jobQueueDepth    int
 	resultTTL        time.Duration
 	zmCacheEntries   int
+	segmentFormat    uint16
 	// Correlation tuning (see incidents.go).
 	dedupWindow       uint32
 	clusterGap        uint32
@@ -272,6 +273,16 @@ func WithQueryParallelism(k int) Option {
 // construction option — pass it to Create or Open.
 func WithZoneMapCacheSize(n int) Option {
 	return func(o *callOptions) { o.zmCacheEntries = n }
+}
+
+// WithSegmentFormat selects the on-disk format for segments the store
+// creates: nfstore.FormatV1 fixed rows or nfstore.FormatV2 compressed
+// column blocks (the default for new stores). Construction option — at
+// Create it is persisted in the store meta, at Open it overrides the
+// persisted choice for this process. Existing segments keep their format
+// either way; both formats read transparently.
+func WithSegmentFormat(format uint16) Option {
+	return func(o *callOptions) { o.segmentFormat = format }
 }
 
 // WithProgress attaches a progress observer to one
@@ -357,10 +368,16 @@ type System struct {
 }
 
 // Create initializes a new system with a fresh flow store in
-// cfg.StoreDir. Construction options (WithQueryParallelism) configure the
-// assembled system; per-call options are ignored here.
+// cfg.StoreDir. Construction options (WithQueryParallelism,
+// WithSegmentFormat) configure the assembled system; per-call options are
+// ignored here.
 func Create(cfg Config, opts ...Option) (*System, error) {
-	store, err := nfstore.Create(cfg.StoreDir, cfg.BinSeconds)
+	o := resolveOptions(opts)
+	format := o.segmentFormat
+	if format == 0 {
+		format = nfstore.DefaultSegmentFormat
+	}
+	store, err := nfstore.CreateFormat(cfg.StoreDir, cfg.BinSeconds, format)
 	if err != nil {
 		return nil, err
 	}
@@ -384,6 +401,12 @@ func assemble(store *nfstore.Store, cfg Config, options []Option) (*System, erro
 	}
 	if o.zmCacheEntries > 0 {
 		store.SetZoneMapCacheSize(o.zmCacheEntries)
+	}
+	if o.segmentFormat != 0 {
+		if err := store.SetSegmentFormat(o.segmentFormat); err != nil {
+			store.Close()
+			return nil, err
+		}
 	}
 	var db *alarmdb.DB
 	if cfg.AlarmDBPath != "" {
