@@ -26,7 +26,7 @@ type fakeDetector struct {
 
 func (d *fakeDetector) Name() string { return d.name }
 
-func (d *fakeDetector) Detect(ctx context.Context, _ *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
+func (d *fakeDetector) Detect(ctx context.Context, _ nfstore.Engine, span flow.Interval) ([]detector.Alarm, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/nfstore"
 	"repro/internal/report"
+	"repro/internal/shardstore"
 )
 
 func main() {
@@ -44,6 +45,9 @@ func main() {
 		diurnal  = flag.Bool("diurnal", false, "modulate background volume diurnally")
 		segFmt   = flag.Int("segment-format", int(nfstore.DefaultSegmentFormat),
 			"segment format for the new store: 1 = fixed rows, 2 = column blocks")
+		shards    = flag.Int("shards", 0, "partition the new store into N shards (0/1 = single store)")
+		partition = flag.String("shard-partition", shardstore.PartitionTime,
+			"sharding scheme with -shards: time (whole bins round-robin) or hash (by router)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `usage: flowgen -out DIR [flags]
@@ -80,15 +84,25 @@ Flags:
 		os.Exit(2)
 	}
 	if err := run(*out, *scenario, *bins, uint32(*binSec), *pops, *flowsBin, *hosts, *servers,
-		*seed, uint32(*sample), uint32(*start), *anomBin, *diurnal, uint16(*segFmt)); err != nil {
+		*seed, uint32(*sample), uint32(*start), *anomBin, *diurnal, uint16(*segFmt),
+		*shards, *partition); err != nil {
 		fmt.Fprintln(os.Stderr, "flowgen:", err)
 		os.Exit(1)
 	}
 }
 
 func run(out, scenarioName string, bins int, binSec uint32, pops, flowsBin, hosts, servers int,
-	seed uint64, sample, start uint32, anomBin int, diurnal bool, segFmt uint16) error {
-	store, err := nfstore.CreateFormat(out, binSec, segFmt)
+	seed uint64, sample, start uint32, anomBin int, diurnal bool, segFmt uint16,
+	shards int, partition string) error {
+	var (
+		store nfstore.Engine
+		err   error
+	)
+	if shards > 1 {
+		store, err = shardstore.Create(out, binSec, shards, partition, segFmt)
+	} else {
+		store, err = nfstore.CreateFormat(out, binSec, segFmt)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/flow"
 	"repro/internal/nfstore"
+	"repro/internal/shardstore"
 )
 
 func TestScenarioPlacements(t *testing.T) {
@@ -42,12 +45,35 @@ func TestScenarioPlacements(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir() + "/store"
-	err := run(dir, "portscan", 4, 300, 2, 100, 500, 100, 1, 1, 1_300_000_200, 2, false, nfstore.DefaultSegmentFormat)
+	err := run(dir, "portscan", 4, 300, 2, 100, 500, 100, 1, 1, 1_300_000_200, 2, false, nfstore.DefaultSegmentFormat, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Running again into the same store must fail (Create refuses).
-	if err := run(dir, "quiet", 2, 300, 1, 10, 10, 10, 1, 1, 0, 0, false, nfstore.DefaultSegmentFormat); err == nil {
+	if err := run(dir, "quiet", 2, 300, 1, 10, 10, 10, 1, 1, 0, 0, false, nfstore.DefaultSegmentFormat, 0, ""); err == nil {
 		t.Fatal("second run into the same directory must fail")
+	}
+}
+
+func TestRunSharded(t *testing.T) {
+	dir := t.TempDir() + "/store"
+	err := run(dir, "portscan", 4, 300, 2, 100, 500, 100, 1, 1, 1_300_000_200, 2, false, nfstore.DefaultSegmentFormat, 3, "hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := shardstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if sh.NumShards() != 3 {
+		t.Fatalf("NumShards = %d, want 3", sh.NumShards())
+	}
+	flows, _, _, err := sh.Count(context.Background(), flow.Interval{Start: 0, End: ^uint32(0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flows == 0 {
+		t.Fatal("sharded store holds no flows")
 	}
 }

@@ -70,6 +70,7 @@ import (
 	"os/signal"
 	"slices"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -78,7 +79,19 @@ import (
 	rootcause "repro"
 	"repro/internal/alarmdb"
 	"repro/internal/flow"
+	"repro/internal/shardstore"
 )
+
+// splitPeers parses the -peers flag into peer URLs.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
 
 func main() {
 	var (
@@ -98,6 +111,12 @@ func main() {
 			"decoded zone-map sidecars cached in memory, LRU beyond (0 = 4096)")
 		segFormat = flag.Int("segment-format", 0,
 			"on-disk format for newly created segments: 1 = fixed rows, 2 = column blocks (0 = store default)")
+		peers = flag.String("peers", "",
+			"comma-separated peer rcad URLs; serve as cluster coordinator over their /api/v1/shard endpoints instead of a local store")
+		peerTimeout = flag.Duration("peer-timeout", 0,
+			"per-peer timeout for unary cluster calls (0 = 10s)")
+		degraded = flag.Bool("degraded", false,
+			"return partial results when some (not all) shards fail instead of erroring")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), `usage: rcad -store DIR [flags]
@@ -139,26 +158,41 @@ Legacy endpoints (synchronous wrappers over the job manager):
   POST /api/alarms/{id}/verdict   {"validated":true,"note":"..."}
   GET  /api/flows?from=U&to=U&filter=EXPR&limit=N
 
+Cluster mode:
+  Every rcad node serves its own store as one shard under /api/v1/shard/.
+  A node started with -peers URL1,URL2,... opens no local store; it
+  coordinates queries, detection and extraction by scatter-gather over
+  the peers' shard endpoints (per-peer timeouts, bounded retries; a dead
+  peer fails with its URL named, or -degraded returns partial results).
+
 Example:
   rcad -store /tmp/flows -alarmdb /tmp/flows/alarms.json -listen :8642
+  rcad -peers http://10.0.0.1:8642,http://10.0.0.2:8642 -alarmdb /tmp/alarms.json
 
 Flags:
 `)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if *storeDir == "" {
-		fmt.Fprintln(os.Stderr, "rcad: -store is required")
+	peerList := splitPeers(*peers)
+	if *storeDir == "" && len(peerList) == 0 {
+		fmt.Fprintln(os.Stderr, "rcad: -store is required (or -peers for cluster mode)")
 		flag.Usage()
 		os.Exit(2)
 	}
-	sys, err := rootcause.Open(rootcause.Config{StoreDir: *storeDir, AlarmDBPath: *dbPath},
+	opts := []rootcause.Option{
 		rootcause.WithQueryParallelism(*queryPar),
 		rootcause.WithJobWorkers(*jobWorkers),
 		rootcause.WithJobQueueDepth(*jobQueue),
 		rootcause.WithResultTTL(*resultTTL),
 		rootcause.WithZoneMapCacheSize(*zmCache),
-		rootcause.WithSegmentFormat(uint16(*segFormat)))
+		rootcause.WithSegmentFormat(uint16(*segFormat)),
+		rootcause.WithDegradedReads(*degraded),
+	}
+	if len(peerList) > 0 {
+		opts = append(opts, rootcause.WithPeers(peerList), rootcause.WithPeerTimeout(*peerTimeout))
+	}
+	sys, err := rootcause.Open(rootcause.Config{StoreDir: *storeDir, AlarmDBPath: *dbPath}, opts...)
 	if err != nil {
 		log.Fatal("rcad: ", err)
 	}
@@ -259,6 +293,10 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /api/extract-batch", s.handleExtractBatch)
 	mux.HandleFunc("POST /api/alarms/{id}/verdict", s.handleVerdict)
 	mux.HandleFunc("GET /api/flows", s.handleFlows)
+	// Shard surface: this node's store served as one shard of a cluster,
+	// for coordinator peers running with -peers (framed binary /query,
+	// JSON aggregations — see internal/shardstore).
+	mux.Handle("/api/v1/shard/", http.StripPrefix("/api/v1/shard", shardstore.Handler(s.sys.Store())))
 	return mux
 }
 
@@ -301,10 +339,15 @@ func parseSpan(r *http.Request) (flow.Interval, error) {
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	// The span probe doubles as the liveness check: in cluster mode an
+	// unreachable peer fails it, which degrades the status but never
+	// stops health from answering — the per-shard breakdown below names
+	// the dead shard.
+	status := "ok"
 	span, ok, err := s.sys.Store().Span()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		status = "degraded"
+		ok = false
 	}
 	jobsByState := map[rootcause.JobState]int{}
 	for _, j := range s.sys.Jobs() {
@@ -320,8 +363,8 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			formats[fmt.Sprintf("v%d", v)] = n
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":          "ok",
+	health := map[string]any{
+		"status":          status,
 		"store_span":      span.String(),
 		"has_data":        ok,
 		"query_stats":     s.sys.QueryStats(),
@@ -330,7 +373,29 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"jobs":            jobsByState,
 		"incidents":       s.sys.IncidentCounts(),
 		"event_streams":   s.sseStreams.Load(),
-	})
+	}
+	// Sharded and cluster-mode systems add the per-shard breakdown: the
+	// rollup above stays, each shard's counters and segment census (or
+	// its error, for an unreachable peer) are listed alongside.
+	if shards := s.sys.ShardStats(); shards != nil {
+		perShard := make([]map[string]any, len(shards))
+		for i, sh := range shards {
+			row := map[string]any{"shard": sh.Shard}
+			if sh.Err != "" {
+				row["error"] = sh.Err
+			} else {
+				row["query_stats"] = sh.Stats
+				f := map[string]int{}
+				for v, n := range sh.Formats {
+					f[fmt.Sprintf("v%d", v)] = n
+				}
+				row["segment_formats"] = f
+			}
+			perShard[i] = row
+		}
+		health["shards"] = perShard
+	}
+	writeJSON(w, http.StatusOK, health)
 }
 
 func (s *server) handleDetectors(w http.ResponseWriter, _ *http.Request) {

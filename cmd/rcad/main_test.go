@@ -231,7 +231,7 @@ type httpDetector struct{}
 
 func (httpDetector) Name() string { return "http-test-detector" }
 
-func (httpDetector) Detect(ctx context.Context, _ *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
+func (httpDetector) Detect(ctx context.Context, _ nfstore.Engine, span flow.Interval) ([]detector.Alarm, error) {
 	return []detector.Alarm{{
 		Detector: "http-test-detector",
 		Interval: flow.Interval{Start: span.Start, End: span.Start + 300},

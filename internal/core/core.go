@@ -269,7 +269,7 @@ type Result struct {
 
 // Extractor runs anomaly extraction against a flow store.
 type Extractor struct {
-	store *nfstore.Store
+	store nfstore.Engine
 	opts  Options
 	m     miner.Miner
 }
@@ -277,7 +277,7 @@ type Extractor struct {
 // New builds an Extractor. The options are validated once here, and the
 // configured miner is resolved from the registry (an unknown name is an
 // error listing the registered ones).
-func New(store *nfstore.Store, opts Options) (*Extractor, error) {
+func New(store nfstore.Engine, opts Options) (*Extractor, error) {
 	if store == nil {
 		return nil, errors.New("core: nil store")
 	}
@@ -292,7 +292,7 @@ func New(store *nfstore.Store, opts Options) (*Extractor, error) {
 }
 
 // MustNew is New that panics on error.
-func MustNew(store *nfstore.Store, opts Options) *Extractor {
+func MustNew(store nfstore.Engine, opts Options) *Extractor {
 	e, err := New(store, opts)
 	if err != nil {
 		panic(err)

@@ -150,5 +150,5 @@ type Detector interface {
 	// Detect scans the span (aligned to store bins) and returns alarms in
 	// time order. Implementations must not mutate the store and must
 	// honor ctx cancellation, returning ctx.Err() promptly.
-	Detect(ctx context.Context, store *nfstore.Store, span flow.Interval) ([]Alarm, error)
+	Detect(ctx context.Context, store nfstore.Engine, span flow.Interval) ([]Alarm, error)
 }

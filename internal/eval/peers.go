@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/nfstore"
+	"repro/internal/shardstore"
+)
+
+// ServeShardDirs opens every shard directory of a sharded store and
+// serves each from its own loopback HTTP server under /api/v1/shard —
+// the same mount a peer rcad node exposes. It returns the peer URLs (in
+// shard order) for shardstore.OpenRemote / rootcause.WithPeers and a
+// stop function that shuts the servers down and closes the stores.
+//
+// This is the in-process stand-in for a real rcad cluster: evaluation
+// and benchmarks exercise the full HTTP read path (framed query streams,
+// JSON aggregations) without spawning processes.
+func ServeShardDirs(dir string) (peers []string, stop func(), err error) {
+	shardDirs, err := shardstore.ShardDirs(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		stores  []*nfstore.Store
+		servers []*http.Server
+	)
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for _, srv := range servers {
+			srv.Shutdown(ctx)
+		}
+		for _, st := range stores {
+			st.Close()
+		}
+	}
+	for _, sub := range shardDirs {
+		st, err := nfstore.Open(sub)
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		stores = append(stores, st)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/api/v1/shard/", http.StripPrefix("/api/v1/shard", shardstore.Handler(st)))
+		srv := &http.Server{Handler: mux}
+		servers = append(servers, srv)
+		go srv.Serve(ln)
+		peers = append(peers, fmt.Sprintf("http://%s", ln.Addr()))
+	}
+	return peers, stop, nil
+}

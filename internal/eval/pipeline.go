@@ -66,6 +66,14 @@ type PipelineConfig struct {
 	// library default). Scores must be identical across formats — CI
 	// compares the reports byte for byte.
 	SegmentFormat uint16
+	// Shards partitions every scenario store into N shards (0/1 = the
+	// plain single-directory store). Scores must be identical across
+	// shard counts — CI compares the reports modulo wall-clock.
+	Shards int
+	// HTTPPeers serves each shard from its own loopback HTTP server and
+	// runs the matrix through the remote-peer client — the full rcad
+	// cluster read path. Requires Shards >= 2.
+	HTTPPeers bool
 }
 
 // ComboScore is the outcome of one scenario × detector × miner cell.
@@ -240,24 +248,11 @@ func RunMatrix(cfg PipelineConfig) (*MatrixReport, error) {
 // configured).
 func runScenarioMatrix(def gen.Def, cfg PipelineConfig, workDir string, detectors, miners []string) ([]ComboScore, *IncidentScore, error) {
 	ctx := context.Background()
-	var sysOpts []rootcause.Option
-	if cfg.SegmentFormat != 0 {
-		sysOpts = append(sysOpts, rootcause.WithSegmentFormat(cfg.SegmentFormat))
-	}
-	sys, err := rootcause.Create(rootcause.Config{
-		StoreDir: filepath.Join(workDir, "scenario-"+def.Name),
-	}, sysOpts...)
+	sys, truth, cleanup, err := buildScenarioSystem(def, cfg, workDir)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer sys.Close()
-
-	sc := def.Scenario(scenarioSeed(cfg.Seed, def.Name))
-	sc.SampleRate = cfg.SampleRate
-	truth, err := sc.Generate(sys.Store())
-	if err != nil {
-		return nil, nil, err
-	}
+	defer cleanup()
 
 	// Incident mode runs first, on the pristine alarm DB: the storm it
 	// synthesizes (and correlates) must not mix with the per-cell alarms
@@ -269,7 +264,9 @@ func runScenarioMatrix(def gen.Def, cfg PipelineConfig, workDir string, detector
 	}
 
 	// The bin a detector must flag to count as the alarm source: the
-	// primary anomaly's interval, or the placement bin for quiet traces.
+	// primary anomaly's interval, or the placement bin for quiet traces
+	// (re-deriving the scenario is deterministic and cheap).
+	sc := def.Scenario(scenarioSeed(cfg.Seed, def.Name))
 	anomalyIv := quietAlarmInterval(sc, sys.Store().BinSeconds())
 	kind := detector.KindUnknown
 	if len(truth.Entries) > 0 {
@@ -303,6 +300,56 @@ func runScenarioMatrix(def gen.Def, cfg PipelineConfig, workDir string, detector
 		}
 	}
 	return cells, incScore, nil
+}
+
+// buildScenarioSystem creates the scenario's system, generates the trace
+// into it, and — in HTTP-peer mode — republishes the freshly written
+// shards behind loopback HTTP servers and reopens the system through the
+// remote-peer client, so the matrix exercises the full cluster read
+// path. The returned cleanup closes everything in either mode.
+func buildScenarioSystem(def gen.Def, cfg PipelineConfig, workDir string) (*rootcause.System, *gen.Truth, func(), error) {
+	if cfg.HTTPPeers && cfg.Shards < 2 {
+		return nil, nil, nil, fmt.Errorf("eval: HTTPPeers requires Shards >= 2 (got %d)", cfg.Shards)
+	}
+	var sysOpts []rootcause.Option
+	if cfg.SegmentFormat != 0 {
+		sysOpts = append(sysOpts, rootcause.WithSegmentFormat(cfg.SegmentFormat))
+	}
+	if cfg.Shards > 1 {
+		sysOpts = append(sysOpts, rootcause.WithShards(cfg.Shards))
+	}
+	storeDir := filepath.Join(workDir, "scenario-"+def.Name)
+	sys, err := rootcause.Create(rootcause.Config{StoreDir: storeDir}, sysOpts...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	sc := def.Scenario(scenarioSeed(cfg.Seed, def.Name))
+	sc.SampleRate = cfg.SampleRate
+	truth, err := sc.Generate(sys.Store())
+	if err != nil {
+		sys.Close()
+		return nil, nil, nil, err
+	}
+	if !cfg.HTTPPeers {
+		return sys, truth, func() { sys.Close() }, nil
+	}
+
+	// Cluster mode: hand each shard directory to its own HTTP server and
+	// reopen the system as a remote-peer client over them.
+	if err := sys.Close(); err != nil {
+		return nil, nil, nil, err
+	}
+	peers, stopPeers, err := ServeShardDirs(storeDir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	remote, err := rootcause.Open(rootcause.Config{}, rootcause.WithPeers(peers))
+	if err != nil {
+		stopPeers()
+		return nil, nil, nil, err
+	}
+	return remote, truth, func() { remote.Close(); stopPeers() }, nil
 }
 
 // quietAlarmInterval is the placement-bin interval of a scenario with no

@@ -63,8 +63,9 @@ type ScanRow struct {
 // across bins 300-second bins with ~4% UDP:53 traffic. clustered=true
 // keeps UDP:53 out of the background and injects the same volume of
 // matches as a single burst in the third bin instead, so only a couple
-// of blocks contain matching rows.
-func FillScanStore(s *nfstore.Store, clustered bool, records, bins int, seed int64) error {
+// of blocks contain matching rows. Routers draw from 64 values so the
+// hash-partitioned shard benchmark balances at any shard count.
+func FillScanStore(s nfstore.Engine, clustered bool, records, bins int, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
 	span := bins * 300
 	protos := []flow.Protocol{flow.ProtoTCP, flow.ProtoUDP, flow.ProtoICMP, 47}
@@ -87,7 +88,7 @@ func FillScanStore(s *nfstore.Store, clustered bool, records, bins int, seed int
 			SrcPort: ports[rng.Intn(len(ports))],
 			DstPort: dst,
 			Proto:   protos[rng.Intn(len(protos))],
-			Router:  uint16(rng.Intn(4)),
+			Router:  uint16(rng.Intn(64)),
 			Packets: uint64(1 + rng.Intn(1000)),
 		}
 		r.Bytes = r.Packets * uint64(40+rng.Intn(1400))
@@ -107,6 +108,7 @@ func FillScanStore(s *nfstore.Store, clustered bool, records, bins int, seed int
 				SrcPort: uint16(1024 + rng.Intn(60000)),
 				DstPort: 53,
 				Proto:   flow.ProtoUDP,
+				Router:  uint16(rng.Intn(64)),
 				Packets: uint64(1 + rng.Intn(10)),
 			}
 			r.Bytes = r.Packets * 120
@@ -172,7 +174,7 @@ func RunScanBench(workDir string, cfg ScanBenchConfig) ([]ScanRow, error) {
 // measureScan times one op against one store until MinTime has elapsed
 // (always at least two passes: the first doubles as warmup for the OS
 // page cache and the zone-map cache).
-func measureScan(s *nfstore.Store, op string, filter *nffilter.Filter, iv flow.Interval, cfg ScanBenchConfig) (ScanRow, error) {
+func measureScan(s nfstore.Engine, op string, filter *nffilter.Filter, iv flow.Interval, cfg ScanBenchConfig) (ScanRow, error) {
 	ctx := context.Background()
 	pass := func() (uint64, error) {
 		if op == "count" {

@@ -62,7 +62,7 @@ type AlarmScore struct {
 
 // ScoreResult evaluates an extraction result against the annotations
 // stored in the trace.
-func ScoreResult(store *nfstore.Store, alarm *detector.Alarm, res *core.Result, opts ScoreOptions) (*AlarmScore, error) {
+func ScoreResult(store nfstore.Engine, alarm *detector.Alarm, res *core.Result, opts ScoreOptions) (*AlarmScore, error) {
 	if opts.UsefulPurity <= 0 {
 		opts.UsefulPurity = 0.8
 	}

@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestMatrixShardedIdentity pins the sharding acceptance contract: the
+// eval matrix run against a 4-shard scatter-gather store — in-process
+// and again over loopback HTTP peers — is byte-identical to the
+// single-store run, modulo wall-clock. Scores must not depend on how
+// the flow archive is partitioned or where the shards live.
+func TestMatrixShardedIdentity(t *testing.T) {
+	base := PipelineConfig{
+		Scenarios: []string{"dns-amplification", "icmp-flood"},
+		Detectors: []string{SynthesizedSource},
+		Miners:    []string{"apriori"},
+		Seed:      19,
+	}
+	run := func(name string, shards int, httpPeers bool) string {
+		cfg := base
+		cfg.WorkDir = t.TempDir()
+		cfg.Shards = shards
+		cfg.HTTPPeers = httpPeers
+		rep, err := RunMatrix(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep.WallMS = 0
+		rep.Totals.WallMS = 0
+		for i := range rep.PerMiner {
+			rep.PerMiner[i].WallMS = 0
+		}
+		for i := range rep.Combos {
+			rep.Combos[i].WallMS = 0
+		}
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf)
+	}
+
+	single := run("single", 0, false)
+	sharded := run("sharded", 4, false)
+	if single != sharded {
+		t.Errorf("4-shard matrix differs from single store:\nsingle:  %s\nsharded: %s", single, sharded)
+	}
+	cluster := run("http", 4, true)
+	if single != cluster {
+		t.Errorf("HTTP-peer matrix differs from single store:\nsingle: %s\nhttp:   %s", single, cluster)
+	}
+}

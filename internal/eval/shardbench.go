@@ -1,0 +1,249 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/nffilter"
+	"repro/internal/nfstore"
+	"repro/internal/shardstore"
+)
+
+// Shard scatter-gather benchmark: the scan-format workloads and filter
+// (see scan.go), timed against a single store and against the same trace
+// hash-partitioned into 1/2/4/8 shards, plus the 4-shard store served
+// over loopback HTTP through the remote-peer client. Every cell reports
+// two numbers:
+//
+//   - the measured throughput of one end-to-end pass on this host, and
+//   - the modeled cluster throughput: each shard is scanned standalone
+//     and the pass is charged the SLOWEST shard's time — exactly the
+//     wall-clock an N-node cluster sees when every node scans its own
+//     shard concurrently. On a multi-core host the in-process
+//     scatter-gather approaches this number; on a single-core host it
+//     cannot (there is no parallelism to exploit), which is why the two
+//     are reported separately instead of pretending one is the other.
+//
+// Matched-flow counts are asserted identical across every mode — a
+// sharded scan that dropped or duplicated rows would fail the benchmark,
+// not just skew it.
+
+// ShardRow is one measured cell of the shard benchmark.
+type ShardRow struct {
+	Op       string `json:"op"`       // "query" or "count"
+	Workload string `json:"workload"` // "clustered" or "uniform"
+	Mode     string `json:"mode"`     // "single", "sharded" or "http"
+	Shards   int    `json:"shards"`   // 1 for single
+	Matched  uint64 `json:"matched_flows"`
+	// MrecPerS is the measured end-to-end throughput on this host.
+	MrecPerS float64 `json:"mrec_per_s"`
+	// ClusterMrecPerS is the modeled cluster throughput (slowest-shard
+	// charging; see the package comment). Zero for http rows — HTTP adds
+	// coordinator-side work the model would hide.
+	ClusterMrecPerS float64 `json:"cluster_mrec_per_s,omitempty"`
+	// Speedup and ClusterSpeedup are relative to the single-store row of
+	// the same op and workload (single = 1.0).
+	Speedup        float64 `json:"speedup_vs_single"`
+	ClusterSpeedup float64 `json:"cluster_speedup_vs_single,omitempty"`
+}
+
+// ShardBenchShardCounts are the shard counts the benchmark sweeps.
+var ShardBenchShardCounts = []int{1, 2, 4, 8}
+
+// ShardBenchHTTPShards is the shard count served over loopback HTTP for
+// the peer-overhead rows.
+const ShardBenchHTTPShards = 4
+
+// RunShardBench builds the scan workloads as a single store and as
+// hash-partitioned sharded stores, times the filtered Query and Count
+// paths on each (plus the HTTP-peer path at 4 shards), and returns one
+// row per cell with single-store-relative speedups filled in. It reuses
+// ScanBenchConfig: same trace sizes, same measurement floor.
+func RunShardBench(workDir string, cfg ScanBenchConfig) ([]ShardRow, error) {
+	cfg = cfg.withDefaults()
+	filter, err := nffilter.Parse(ScanFilter)
+	if err != nil {
+		return nil, err
+	}
+	iv := flow.Interval{Start: 0, End: uint32(cfg.Bins * 300)}
+	ops := []string{"query", "count"}
+	var rows []ShardRow
+	for _, workload := range []string{"clustered", "uniform"} {
+		clustered := workload == "clustered"
+		base := make(map[string]ShardRow) // op -> single-store row
+
+		// Single-store baseline, serial scan (parallelism 1): the honest
+		// one-node reference every speedup is relative to.
+		dir := fmt.Sprintf("%s/shardbench-%s-single", workDir, workload)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		single, err := nfstore.CreateFormat(dir, 300, nfstore.FormatV2)
+		if err != nil {
+			return nil, err
+		}
+		err = FillScanStore(single, clustered, cfg.Records, cfg.Bins, cfg.Seed)
+		if err == nil {
+			single.SetParallelism(1)
+			for _, op := range ops {
+				var row ScanRow
+				row, err = measureScan(single, op, filter, iv, cfg)
+				if err != nil {
+					break
+				}
+				sr := ShardRow{
+					Op: op, Workload: workload, Mode: "single", Shards: 1,
+					Matched: row.Matched, MrecPerS: row.MrecPerS,
+					ClusterMrecPerS: row.MrecPerS, Speedup: 1, ClusterSpeedup: 1,
+				}
+				base[op] = sr
+				rows = append(rows, sr)
+			}
+		}
+		single.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		// The 1-shard rows measure pure manifest/fan-out overhead: same
+		// data, same serial scan, one layer of indirection more.
+		for _, n := range ShardBenchShardCounts {
+			dir := fmt.Sprintf("%s/shardbench-%s-s%d", workDir, workload, n)
+			sharded, err := shardstore.Create(dir, 300, n, shardstore.PartitionHash, nfstore.FormatV2)
+			if err != nil {
+				return nil, err
+			}
+			if err := FillScanStore(sharded, clustered, cfg.Records, cfg.Bins, cfg.Seed); err != nil {
+				sharded.Close()
+				return nil, err
+			}
+			for _, st := range sharded.LocalStores() {
+				st.SetParallelism(1) // one node = one serial scanner
+			}
+			sharded.SetParallelism(n) // fan out one worker per shard
+			for _, op := range ops {
+				row, err := measureScan(sharded, op, filter, iv, cfg)
+				if err != nil {
+					sharded.Close()
+					return nil, err
+				}
+				if row.Matched != base[op].Matched {
+					sharded.Close()
+					return nil, fmt.Errorf("shard bench: %s/%s at %d shards matched %d flows, single store matched %d",
+						workload, op, n, row.Matched, base[op].Matched)
+				}
+				clusterM, err := measureCluster(sharded.LocalStores(), op, filter, iv, cfg)
+				if err != nil {
+					sharded.Close()
+					return nil, err
+				}
+				sr := ShardRow{
+					Op: op, Workload: workload, Mode: "sharded", Shards: n,
+					Matched: row.Matched, MrecPerS: row.MrecPerS,
+					ClusterMrecPerS: clusterM,
+				}
+				if b := base[op]; b.MrecPerS > 0 {
+					sr.Speedup = sr.MrecPerS / b.MrecPerS
+					sr.ClusterSpeedup = sr.ClusterMrecPerS / b.MrecPerS
+				}
+				rows = append(rows, sr)
+			}
+			if err := sharded.Close(); err != nil {
+				return nil, err
+			}
+
+			if n != ShardBenchHTTPShards {
+				continue
+			}
+			// HTTP-peer overhead: the same shards behind loopback HTTP
+			// servers, read through the remote client — framed record
+			// streams for query, JSON merges for count.
+			httpRows, err := measureHTTP(dir, n, workload, ops, filter, iv, cfg, base)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, httpRows...)
+		}
+	}
+	return rows, nil
+}
+
+// measureCluster times op over each shard's local store standalone and
+// charges every pass the slowest shard's time — the modeled wall-clock
+// of an N-node cluster scanning concurrently.
+func measureCluster(locals []*nfstore.Store, op string, filter *nffilter.Filter, iv flow.Interval, cfg ScanBenchConfig) (float64, error) {
+	ctx := context.Background()
+	pass := func() (time.Duration, error) {
+		var worst time.Duration
+		for _, s := range locals {
+			t0 := time.Now()
+			var err error
+			if op == "count" {
+				_, _, _, err = s.Count(ctx, iv, filter)
+			} else {
+				err = s.Query(ctx, iv, filter, func(*flow.Record) error { return nil })
+			}
+			if err != nil {
+				return 0, err
+			}
+			if d := time.Since(t0); d > worst {
+				worst = d
+			}
+		}
+		return worst, nil
+	}
+	if _, err := pass(); err != nil { // warmup
+		return 0, err
+	}
+	var clusterTime time.Duration
+	passes := 0
+	t0 := time.Now()
+	for passes == 0 || time.Since(t0) < cfg.MinTime {
+		d, err := pass()
+		if err != nil {
+			return 0, err
+		}
+		clusterTime += d
+		passes++
+	}
+	return float64(cfg.Records) * float64(passes) / clusterTime.Seconds() / 1e6, nil
+}
+
+// measureHTTP serves the sharded store at dir over loopback HTTP and
+// times the ops through the remote-peer client.
+func measureHTTP(dir string, n int, workload string, ops []string, filter *nffilter.Filter, iv flow.Interval, cfg ScanBenchConfig, base map[string]ShardRow) ([]ShardRow, error) {
+	peers, stopPeers, err := ServeShardDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer stopPeers()
+	remote, err := shardstore.OpenRemote(context.Background(), peers, shardstore.RemoteOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer remote.Close()
+	remote.SetParallelism(n)
+	var rows []ShardRow
+	for _, op := range ops {
+		row, err := measureScan(remote, op, filter, iv, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if row.Matched != base[op].Matched {
+			return nil, fmt.Errorf("shard bench: %s/%s over http matched %d flows, single store matched %d",
+				workload, op, row.Matched, base[op].Matched)
+		}
+		sr := ShardRow{
+			Op: op, Workload: workload, Mode: "http", Shards: n,
+			Matched: row.Matched, MrecPerS: row.MrecPerS,
+		}
+		if b := base[op]; b.MrecPerS > 0 {
+			sr.Speedup = sr.MrecPerS / b.MrecPerS
+		}
+		rows = append(rows, sr)
+	}
+	return rows, nil
+}

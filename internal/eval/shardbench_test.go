@@ -1,0 +1,48 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunShardBench smoke-runs the shard benchmark on a small trace: the
+// matched-flow parity assertions inside RunShardBench are the real
+// check (a sharded scan that drops or duplicates rows fails the run);
+// here we verify the row layout and that every mode produced data.
+func TestRunShardBench(t *testing.T) {
+	rows, err := RunShardBench(t.TempDir(), ScanBenchConfig{
+		Records: 20_000, Bins: 4, MinTime: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := map[string]int{}
+	shardCounts := map[int]bool{}
+	for _, r := range rows {
+		modes[r.Mode]++
+		shardCounts[r.Shards] = true
+		if r.Matched == 0 {
+			t.Errorf("row %+v matched nothing", r)
+		}
+		if r.MrecPerS <= 0 {
+			t.Errorf("row %+v has no throughput", r)
+		}
+		if r.Mode != "http" && r.ClusterMrecPerS <= 0 {
+			t.Errorf("row %+v has no cluster throughput", r)
+		}
+	}
+	// 2 workloads × 2 ops × (1 single + 4 shard counts + 1 http) = 24.
+	if len(rows) != 24 {
+		t.Fatalf("got %d rows, want 24", len(rows))
+	}
+	for _, m := range []string{"single", "sharded", "http"} {
+		if modes[m] == 0 {
+			t.Errorf("no %q rows", m)
+		}
+	}
+	for _, n := range ShardBenchShardCounts {
+		if !shardCounts[n] {
+			t.Errorf("no rows at %d shards", n)
+		}
+	}
+}

@@ -461,7 +461,7 @@ func runScenario(i int, spec ScenarioSpec, cfg SuiteConfig, workDir string, bins
 // detectAlarm runs the named detector (from the registry, with default
 // configuration; "" selects netreflex) and returns the alarm overlapping
 // the anomaly bin, if any.
-func detectAlarm(name string, store *nfstore.Store, span, alarmBin flow.Interval) (detector.Alarm, bool, error) {
+func detectAlarm(name string, store nfstore.Engine, span, alarmBin flow.Interval) (detector.Alarm, bool, error) {
 	if name == "" {
 		name = "netreflex"
 	}

@@ -51,7 +51,7 @@ type TruthScore struct {
 // anomaly dominates its traffic (>= opts.UsefulPurity of matched flows or
 // packets), and that anomaly is then attributed at the itemset's rank.
 // A nil res scores zero (no candidates / nothing mined).
-func ScoreTruth(store *nfstore.Store, iv flow.Interval, res *core.Result, truth *gen.Truth, opts ScoreOptions) (*TruthScore, error) {
+func ScoreTruth(store nfstore.Engine, iv flow.Interval, res *core.Result, truth *gen.Truth, opts ScoreOptions) (*TruthScore, error) {
 	if opts.UsefulPurity <= 0 {
 		opts.UsefulPurity = 0.8
 	}

@@ -84,7 +84,7 @@ func (t *Truth) Entry(anno flow.Annotation) *TruthEntry {
 // Generate writes the scenario into store and returns the ground truth.
 // The store's bin width defines the measurement bin; StartTime is aligned
 // down to it.
-func (s *Scenario) Generate(store *nfstore.Store) (*Truth, error) {
+func (s *Scenario) Generate(store nfstore.Engine) (*Truth, error) {
 	if s.Bins <= 0 {
 		return nil, fmt.Errorf("gen: scenario needs Bins > 0")
 	}

@@ -126,7 +126,7 @@ type featState struct {
 // bins inside span in time order, maintaining reference histograms, and
 // returns one alarm per (bin, feature) whose KL distance exceeds the
 // adaptive threshold.
-func (d *Detector) Detect(ctx context.Context, store *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
+func (d *Detector) Detect(ctx context.Context, store nfstore.Engine, span flow.Interval) ([]detector.Alarm, error) {
 	bins, err := store.Bins()
 	if err != nil {
 		return nil, err

@@ -115,7 +115,7 @@ func (d *Detector) Name() string { return "netreflex" }
 // Detect implements detector.Detector: run the subspace detector, then
 // classify each alarm and replace its meta-data with the dominant
 // signature's fine-grained items.
-func (d *Detector) Detect(ctx context.Context, store *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
+func (d *Detector) Detect(ctx context.Context, store nfstore.Engine, span flow.Interval) ([]detector.Alarm, error) {
 	raw, err := d.pca.Detect(ctx, store, span)
 	if err != nil {
 		return nil, err
@@ -159,7 +159,7 @@ type intervalStats struct {
 }
 
 // gatherStats aggregates the structure of one interval's flows.
-func gatherStats(ctx context.Context, store *nfstore.Store, iv flow.Interval) (*intervalStats, error) {
+func gatherStats(ctx context.Context, store nfstore.Engine, iv flow.Interval) (*intervalStats, error) {
 	st := &intervalStats{
 		pairFlows:   map[pairKey]uint64{},
 		pairPackets: map[pairKey]uint64{},
@@ -198,7 +198,7 @@ func gatherStats(ctx context.Context, store *nfstore.Store, iv flow.Interval) (*
 // classify inspects the flows of the flagged interval — relative to the
 // preceding baseline bin — and derives the anomaly kind plus the dominant
 // signature's meta-data.
-func (d *Detector) classify(ctx context.Context, store *nfstore.Store, iv flow.Interval) (detector.Kind, []detector.MetaItem, error) {
+func (d *Detector) classify(ctx context.Context, store nfstore.Engine, iv flow.Interval) (detector.Kind, []detector.MetaItem, error) {
 	st, err := gatherStats(ctx, store, iv)
 	if err != nil {
 		return detector.KindUnknown, nil, err

@@ -1,0 +1,63 @@
+package nfstore
+
+import (
+	"context"
+	"iter"
+
+	"repro/internal/flow"
+	"repro/internal/nffilter"
+)
+
+// Engine is the full read/write surface of a flow store, satisfied by
+// *Store and by shardstore.ShardedStore (the scatter-gather multi-store
+// engine). Everything above the storage layer — detectors, the
+// extraction engine, the evaluation pipeline, the HTTP backend — works
+// against this interface, so a single-directory store and a sharded
+// (or remote, HTTP-peer) store are interchangeable.
+//
+// The behavioral contracts are those documented on *Store: Query streams
+// in bin order through a reused *flow.Record, Count/Summaries/TopN are
+// exact aggregations, Stats exposes cumulative scan counters. Read-only
+// engines (remote shard clients) reject Add/AddAll and treat Flush as a
+// no-op.
+type Engine interface {
+	// Bin geometry and on-disk extent.
+	BinSeconds() uint32
+	Bin(t uint32) flow.Interval
+	Bins() ([]uint32, error)
+	Span() (iv flow.Interval, ok bool, err error)
+
+	// Ingest.
+	Add(r *flow.Record) error
+	AddAll(rs []flow.Record) error
+	Flush() error
+	Close() error
+
+	// Queries and aggregations.
+	Query(ctx context.Context, iv flow.Interval, filter *nffilter.Filter, fn func(*flow.Record) error) error
+	Iter(ctx context.Context, iv flow.Interval, filter *nffilter.Filter) iter.Seq2[*flow.Record, error]
+	Records(ctx context.Context, iv flow.Interval, filter *nffilter.Filter) ([]flow.Record, error)
+	Count(ctx context.Context, iv flow.Interval, filter *nffilter.Filter) (flows, packets, bytes uint64, err error)
+	Summaries(ctx context.Context, iv flow.Interval, filter *nffilter.Filter) ([]BinSummary, error)
+	TopN(ctx context.Context, iv flow.Interval, filter *nffilter.Filter, feat flow.Feature, weight Weight, k int) ([]KeyCount, error)
+
+	// Observability and tuning.
+	Stats() Stats
+	ResetStats()
+	SetParallelism(k int)
+	Parallelism() int
+	SegmentFormat() uint16
+	SegmentFormats() (map[uint16]int, error)
+}
+
+// Compile-time check: the single-directory store is an Engine.
+var _ Engine = (*Store)(nil)
+
+// EncodeRecord packs r into buf (at least RecordSize bytes) in the fixed
+// little-endian v1 row layout — the wire format remote shards stream
+// query results in.
+func EncodeRecord(buf []byte, r *flow.Record) { encodeRecord(buf, r) }
+
+// DecodeRecord unpacks a record from buf (at least RecordSize bytes),
+// the inverse of EncodeRecord.
+func DecodeRecord(buf []byte, r *flow.Record) { decodeRecord(buf, r) }

@@ -9,6 +9,7 @@ import (
 	"iter"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -602,12 +603,25 @@ func (s *Store) countPlan(ctx context.Context, plan []segPlan, iv flow.Interval,
 
 // Migrate rewrites every segment not already in the target format,
 // returning how many it converted. Each segment is rewritten atomically
-// (temp file + rename) with a fresh sidecar, one at a time under the
-// writer lock, so readers between segments see a consistent mixed-format
-// store and an interrupted migration loses nothing. Open writers for a
-// migrated bin are flushed and closed first (they reopen on the next
-// append, picking up the new format from the rewritten header).
+// (temp file + rename) with a fresh sidecar, so readers between segments
+// see a consistent mixed-format store and an interrupted migration loses
+// nothing. Open writers for a migrated bin are flushed and closed first
+// (they reopen on the next append, picking up the new format from the
+// rewritten header). Segments rewrite serially; MigrateWorkers fans the
+// same rewrites over a bounded pool.
 func (s *Store) Migrate(ctx context.Context, target uint16) (migrated int, err error) {
+	return s.MigrateWorkers(ctx, target, 1)
+}
+
+// MigrateWorkers is Migrate with the per-segment rewrites fanned over a
+// bounded worker pool. workers <= 0 selects the automatic width (number
+// of CPUs, capped the same way query parallelism is). The expensive part
+// of each rewrite — decoding the old segment and encoding the new one —
+// runs outside the writer lock; only the brief detach-writer and
+// commit-rename steps serialize, so concurrent appends stay correct (a
+// segment that changes under a rewrite is retried). On error the count
+// of segments already migrated is still returned.
+func (s *Store) MigrateWorkers(ctx context.Context, target uint16, workers int) (int, error) {
 	if !validFormat(target) {
 		return 0, fmt.Errorf("nfstore: unknown segment format %d (supported: %d-%d)", target, FormatV1, segVersionMax)
 	}
@@ -615,26 +629,91 @@ func (s *Store) Migrate(ctx context.Context, target uint16) (migrated int, err e
 	if err != nil {
 		return 0, err
 	}
+	if workers <= 0 {
+		workers = min(runtime.GOMAXPROCS(0), maxAutoParallelism)
+	}
+	workers = min(workers, len(bins))
+	if workers <= 1 {
+		migrated := 0
+		for _, bin := range bins {
+			if err := ctx.Err(); err != nil {
+				return migrated, err
+			}
+			done, err := s.migrateSegment(ctx, bin, target)
+			if err != nil {
+				return migrated, err
+			}
+			if done {
+				migrated++
+			}
+		}
+		return migrated, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		migrated atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	work := make(chan uint32)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bin := range work {
+				done, err := s.migrateSegment(ctx, bin, target)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err; cancel() })
+					return
+				}
+				if done {
+					migrated.Add(1)
+				}
+			}
+		}()
+	}
+feed:
 	for _, bin := range bins {
-		if err := ctx.Err(); err != nil {
-			return migrated, err
-		}
-		done, err := s.migrateSegment(ctx, bin, target)
-		if err != nil {
-			return migrated, err
-		}
-		if done {
-			migrated++
+		select {
+		case work <- bin:
+		case <-ctx.Done():
+			break feed
 		}
 	}
-	return migrated, nil
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return int(migrated.Load()), firstErr
+	}
+	return int(migrated.Load()), ctx.Err()
 }
+
+// migrateAttempts bounds how often one segment rewrite is retried when
+// concurrent appends land between its read and its commit.
+const migrateAttempts = 4
 
 // migrateSegment converts one segment to the target format, reporting
 // whether a rewrite happened. Caller does NOT hold s.mu.
 func (s *Store) migrateSegment(ctx context.Context, bin uint32, target uint16) (bool, error) {
+	for attempt := 0; attempt < migrateAttempts; attempt++ {
+		done, retry, err := s.tryMigrateSegment(ctx, bin, target)
+		if err != nil || !retry {
+			return done, err
+		}
+	}
+	return false, fmt.Errorf("nfstore: migrate bin %d: segment kept changing under rewrite", bin)
+}
+
+// tryMigrateSegment is one rewrite attempt. It detaches any open writer
+// and snapshots the segment size under the lock, decodes and re-encodes
+// the segment into a temp file with the lock released, then commits the
+// rename only if the segment is still exactly the bytes it read — an
+// append that slipped in (a reopened writer, or a grown file) makes the
+// attempt report retry instead of clobbering the new rows.
+func (s *Store) tryMigrateSegment(ctx context.Context, bin uint32, target uint16) (done, retry bool, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if w, ok := s.open[bin]; ok {
 		err := w.seal()
 		if err == nil {
@@ -643,26 +722,34 @@ func (s *Store) migrateSegment(ctx context.Context, bin uint32, target uint16) (
 		cerr := w.f.Close()
 		delete(s.open, bin)
 		if err != nil {
-			return false, fmt.Errorf("nfstore: migrate bin %d: flush: %w", bin, err)
+			s.mu.Unlock()
+			return false, false, fmt.Errorf("nfstore: migrate bin %d: flush: %w", bin, err)
 		}
 		if cerr != nil {
-			return false, fmt.Errorf("nfstore: migrate bin %d: close: %w", bin, cerr)
+			s.mu.Unlock()
+			return false, false, fmt.Errorf("nfstore: migrate bin %d: close: %w", bin, cerr)
 		}
 	}
+	fi, err := os.Stat(s.segPath(bin))
+	s.mu.Unlock()
+	if err != nil {
+		return false, false, fmt.Errorf("nfstore: migrate bin %d: stat: %w", bin, err)
+	}
+	readSize := fi.Size()
 	version, err := s.segmentVersion(bin)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	if version == target {
-		return false, nil
+		return false, false, nil
 	}
 	recs, err := s.readSegmentAll(ctx, bin)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	tmp, err := os.CreateTemp(s.dir, segPrefix+"mig-*")
 	if err != nil {
-		return false, fmt.Errorf("nfstore: migrate bin %d: temp: %w", bin, err)
+		return false, false, fmt.Errorf("nfstore: migrate bin %d: temp: %w", bin, err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	bw := bufio.NewWriterSize(tmp, 1<<16)
@@ -699,18 +786,30 @@ func (s *Store) migrateSegment(ctx context.Context, bin uint32, target uint16) (
 		err = cerr
 	}
 	if err != nil {
-		return false, fmt.Errorf("nfstore: migrate bin %d: write: %w", bin, err)
-	}
-	if err := os.Rename(tmp.Name(), s.segPath(bin)); err != nil {
-		return false, fmt.Errorf("nfstore: migrate bin %d: rename: %w", bin, err)
+		return false, false, fmt.Errorf("nfstore: migrate bin %d: write: %w", bin, err)
 	}
 	for i := range recs {
 		z.add(&recs[i])
 	}
 	z.coveredSize = off
 	z.format = target
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.open[bin]; ok {
+		return false, true, nil // writer reopened mid-rewrite: retry
+	}
+	fi, err = os.Stat(s.segPath(bin))
+	if err != nil {
+		return false, false, fmt.Errorf("nfstore: migrate bin %d: stat: %w", bin, err)
+	}
+	if fi.Size() != readSize {
+		return false, true, nil // segment grew mid-rewrite: retry
+	}
+	if err := os.Rename(tmp.Name(), s.segPath(bin)); err != nil {
+		return false, false, fmt.Errorf("nfstore: migrate bin %d: rename: %w", bin, err)
+	}
 	_ = s.writeZoneMap(bin, z) // accelerator only; scans rebuild if absent
-	return true, nil
+	return true, false, nil
 }
 
 // readSegmentAll decodes every record of one segment in file order,

@@ -196,7 +196,7 @@ type binData struct {
 }
 
 // Detect implements detector.Detector.
-func (d *Detector) Detect(ctx context.Context, store *nfstore.Store, span flow.Interval) ([]detector.Alarm, error) {
+func (d *Detector) Detect(ctx context.Context, store nfstore.Engine, span flow.Interval) ([]detector.Alarm, error) {
 	bins, data, numPoPs, err := d.collect(ctx, store, span)
 	if err != nil {
 		return nil, err
@@ -355,7 +355,7 @@ func covarianceOfRows(m *linalg.Matrix, keep []bool) *linalg.Matrix {
 
 // collect performs the single store pass building per-bin, per-PoP
 // distributions and volume counters.
-func (d *Detector) collect(ctx context.Context, store *nfstore.Store, span flow.Interval) ([]uint32, []binData, int, error) {
+func (d *Detector) collect(ctx context.Context, store nfstore.Engine, span flow.Interval) ([]uint32, []binData, int, error) {
 	all, err := store.Bins()
 	if err != nil {
 		return nil, nil, 0, err

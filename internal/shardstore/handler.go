@@ -1,0 +1,298 @@
+package shardstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/flow"
+	"repro/internal/nffilter"
+	"repro/internal/nfstore"
+)
+
+// The shard wire protocol: a small HTTP surface a peer rcad node mounts
+// under /api/v1/shard/ so a coordinator can treat the peer's store as
+// one shard. Aggregations (count, summaries, topn, stats) are plain
+// JSON; /query streams records as length-framed binary so a result of
+// millions of rows costs no JSON machinery:
+//
+//	frame := u32le count | count×42-byte v1-encoded records
+//	count == 0          → clean end of stream
+//	count == 0xFFFFFFFF → u32le length + UTF-8 error message, stream dead
+//
+// The explicit terminator and error frames are what make partial
+// failure loud: a connection that dies mid-stream is distinguishable
+// from a finished one, so a coordinator can never mistake a truncated
+// stream for a complete result.
+
+// queryErrFrame marks an error frame in the /query stream.
+const queryErrFrame = 0xFFFFFFFF
+
+// Handler serves eng's shard surface. Mount it stripped of its prefix:
+//
+//	mux.Handle("/api/v1/shard/", http.StripPrefix("/api/v1/shard", shardstore.Handler(store)))
+func Handler(eng nfstore.Engine) http.Handler {
+	h := &shardHandler{eng: eng}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /meta", h.meta)
+	mux.HandleFunc("GET /bins", h.bins)
+	mux.HandleFunc("GET /span", h.span)
+	mux.HandleFunc("GET /query", h.query)
+	mux.HandleFunc("GET /count", h.count)
+	mux.HandleFunc("GET /summaries", h.summaries)
+	mux.HandleFunc("GET /topn", h.topn)
+	mux.HandleFunc("GET /stats", h.stats)
+	mux.HandleFunc("POST /stats/reset", h.statsReset)
+	return mux
+}
+
+type shardHandler struct {
+	eng nfstore.Engine
+}
+
+// Wire shapes shared by handler and client.
+
+type metaWire struct {
+	BinSeconds  uint32 `json:"bin_seconds"`
+	WriteFormat uint16 `json:"write_format"`
+}
+
+type binsWire struct {
+	Bins []uint32 `json:"bins"`
+}
+
+type spanWire struct {
+	Start uint32 `json:"start"`
+	End   uint32 `json:"end"`
+	OK    bool   `json:"ok"`
+}
+
+type countWire struct {
+	Flows   uint64 `json:"flows"`
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+type summaryWire struct {
+	BinStart uint32 `json:"bin_start"`
+	BinEnd   uint32 `json:"bin_end"`
+	Flows    uint64 `json:"flows"`
+	Packets  uint64 `json:"packets"`
+	Bytes    uint64 `json:"bytes"`
+}
+
+type summariesWire struct {
+	Summaries []summaryWire `json:"summaries"`
+}
+
+type topnWire struct {
+	Rows []nfstore.KeyCount `json:"rows"`
+}
+
+type statsWire struct {
+	Stats          nfstore.Stats  `json:"stats"`
+	SegmentFormats map[uint16]int `json:"segment_formats"`
+	WriteFormat    uint16         `json:"write_format"`
+}
+
+type errWire struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errWire{Error: err.Error()})
+}
+
+// parseQueryArgs reads the span and filter every read endpoint takes.
+func parseQueryArgs(r *http.Request) (flow.Interval, *nffilter.Filter, error) {
+	q := r.URL.Query()
+	start, err := strconv.ParseUint(q.Get("start"), 10, 32)
+	if err != nil {
+		return flow.Interval{}, nil, fmt.Errorf("bad start %q", q.Get("start"))
+	}
+	end, err := strconv.ParseUint(q.Get("end"), 10, 32)
+	if err != nil {
+		return flow.Interval{}, nil, fmt.Errorf("bad end %q", q.Get("end"))
+	}
+	iv := flow.Interval{Start: uint32(start), End: uint32(end)}
+	var filter *nffilter.Filter
+	if src := q.Get("filter"); src != "" {
+		filter, err = nffilter.Parse(src)
+		if err != nil {
+			return flow.Interval{}, nil, fmt.Errorf("bad filter: %v", err)
+		}
+	}
+	return iv, filter, nil
+}
+
+func (h *shardHandler) meta(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, metaWire{
+		BinSeconds:  h.eng.BinSeconds(),
+		WriteFormat: h.eng.SegmentFormat(),
+	})
+}
+
+func (h *shardHandler) bins(w http.ResponseWriter, r *http.Request) {
+	bins, err := h.eng.Bins()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, binsWire{Bins: bins})
+}
+
+func (h *shardHandler) span(w http.ResponseWriter, r *http.Request) {
+	iv, ok, err := h.eng.Span()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, spanWire{Start: iv.Start, End: iv.End, OK: ok})
+}
+
+// query streams matching records in the framed binary protocol. Errors
+// before the first frame are plain HTTP errors; errors mid-stream become
+// an error frame (the status line is long gone by then).
+func (h *shardHandler) query(w http.ResponseWriter, r *http.Request) {
+	iv, filter, err := parseQueryArgs(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	const frameRecords = 512
+	frame := make([]byte, 4, 4+frameRecords*nfstore.RecordSize)
+	n := 0
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		binary.LittleEndian.PutUint32(frame[:4], uint32(n))
+		if _, err := w.Write(frame); err != nil {
+			return err
+		}
+		frame = frame[:4]
+		n = 0
+		return nil
+	}
+	var buf [nfstore.RecordSize]byte
+	qerr := h.eng.Query(r.Context(), iv, filter, func(rec *flow.Record) error {
+		nfstore.EncodeRecord(buf[:], rec)
+		frame = append(frame, buf[:]...)
+		if n++; n == frameRecords {
+			return flush()
+		}
+		return nil
+	})
+	if qerr == nil {
+		qerr = flush()
+	}
+	if qerr != nil {
+		// Mid-stream failure: emit an error frame so the client sees a
+		// named error, never a silently short result. If even that write
+		// fails the connection drops, which the client also treats as an
+		// error (no terminator seen).
+		msg := []byte(qerr.Error())
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[:4], queryErrFrame)
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(msg)))
+		_, _ = w.Write(hdr[:])
+		_, _ = w.Write(msg)
+		return
+	}
+	var term [4]byte
+	_, _ = w.Write(term[:]) // count 0: clean end of stream
+}
+
+func (h *shardHandler) count(w http.ResponseWriter, r *http.Request) {
+	iv, filter, err := parseQueryArgs(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	flows, packets, bytes, err := h.eng.Count(r.Context(), iv, filter)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, countWire{Flows: flows, Packets: packets, Bytes: bytes})
+}
+
+func (h *shardHandler) summaries(w http.ResponseWriter, r *http.Request) {
+	iv, filter, err := parseQueryArgs(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sums, err := h.eng.Summaries(r.Context(), iv, filter)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := summariesWire{Summaries: make([]summaryWire, len(sums))}
+	for i, s := range sums {
+		out.Summaries[i] = summaryWire{
+			BinStart: s.Bin.Start, BinEnd: s.Bin.End,
+			Flows: s.Flows, Packets: s.Packets, Bytes: s.Bytes,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *shardHandler) topn(w http.ResponseWriter, r *http.Request) {
+	iv, filter, err := parseQueryArgs(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q := r.URL.Query()
+	feat, err := strconv.ParseUint(q.Get("feature"), 10, 8)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad feature %q", q.Get("feature")))
+		return
+	}
+	weight, err := strconv.Atoi(q.Get("weight"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad weight %q", q.Get("weight")))
+		return
+	}
+	k := 0
+	if s := q.Get("k"); s != "" {
+		if k, err = strconv.Atoi(s); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k %q", s))
+			return
+		}
+	}
+	rows, err := h.eng.TopN(r.Context(), iv, filter, flow.Feature(feat), nfstore.Weight(weight), k)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, topnWire{Rows: rows})
+}
+
+func (h *shardHandler) stats(w http.ResponseWriter, r *http.Request) {
+	formats, err := h.eng.SegmentFormats()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statsWire{
+		Stats:          h.eng.Stats(),
+		SegmentFormats: formats,
+		WriteFormat:    h.eng.SegmentFormat(),
+	})
+}
+
+func (h *shardHandler) statsReset(w http.ResponseWriter, r *http.Request) {
+	h.eng.ResetStats()
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -96,6 +96,7 @@ import (
 	"repro/internal/miner"
 	"repro/internal/nffilter"
 	"repro/internal/nfstore"
+	"repro/internal/shardstore"
 
 	// Built-in detectors self-register into the detector registry.
 	_ "repro/internal/histogram"
@@ -221,6 +222,13 @@ type callOptions struct {
 	resultTTL        time.Duration
 	zmCacheEntries   int
 	segmentFormat    uint16
+	// Sharding / cluster-mode construction options (see WithShards,
+	// WithPeers).
+	shards         int
+	shardPartition string
+	peers          []string
+	peerTimeout    time.Duration
+	degradedReads  bool
 	// Correlation tuning (see incidents.go).
 	dedupWindow       uint32
 	clusterGap        uint32
@@ -336,6 +344,51 @@ func WithResultTTL(d time.Duration) Option {
 	return func(o *callOptions) { o.resultTTL = d }
 }
 
+// WithShards makes Create build a horizontally sharded store of n child
+// stores under Config.StoreDir instead of a single directory (n <= 1
+// keeps the single store). The sharded store answers the same query
+// surface by scatter-gather and Open re-detects it from its manifest.
+// Construction option.
+func WithShards(n int) Option {
+	return func(o *callOptions) { o.shards = n }
+}
+
+// WithShardPartition selects the sharding scheme for WithShards:
+// shardstore.PartitionTime (the default — whole bins round-robin,
+// byte-identical query order to a single store) or
+// shardstore.PartitionHash (records spread by router ID, so one hot bin
+// scans with full shard parallelism). Construction option for Create.
+func WithShardPartition(p string) Option {
+	return func(o *callOptions) { o.shardPartition = p }
+}
+
+// WithPeers makes Open assemble a read-only cluster-mode system whose
+// shards are remote rcad nodes (their /api/v1/shard endpoints), one
+// shard per peer URL, instead of opening Config.StoreDir. Queries,
+// aggregations and extraction fan out over HTTP with per-peer timeouts
+// and bounded retries; a dead peer fails loudly with its URL in the
+// error unless WithDegradedReads opted into partial results.
+// Construction option.
+func WithPeers(urls []string) Option {
+	return func(o *callOptions) { o.peers = urls }
+}
+
+// WithPeerTimeout bounds each unary call to a cluster peer (default
+// 10 s). Streaming queries are bounded by their caller's context
+// instead. Construction option, meaningful with WithPeers.
+func WithPeerTimeout(d time.Duration) Option {
+	return func(o *callOptions) { o.peerTimeout = d }
+}
+
+// WithDegradedReads opts a sharded or cluster-mode system into degraded
+// reads: when some (not all) shards fail mid-read, the surviving
+// shards' partial result is returned instead of an error. Off by
+// default — the default contract names the dead shard and fails.
+// Construction option.
+func WithDegradedReads(on bool) Option {
+	return func(o *callOptions) { o.degradedReads = on }
+}
+
 // resolveOptions folds the options into the call configuration.
 func resolveOptions(opts []Option) callOptions {
 	var o callOptions
@@ -360,7 +413,7 @@ type Config struct {
 
 // System is the assembled root-cause analysis system of Figure 1.
 type System struct {
-	store  *nfstore.Store
+	store  nfstore.Engine
 	alarms *alarmdb.DB
 	ex     *core.Extractor
 	exOpts core.Options  // the system's base extraction options
@@ -368,44 +421,80 @@ type System struct {
 }
 
 // Create initializes a new system with a fresh flow store in
-// cfg.StoreDir. Construction options (WithQueryParallelism,
-// WithSegmentFormat) configure the assembled system; per-call options are
-// ignored here.
+// cfg.StoreDir — a single directory, or (with WithShards) a
+// horizontally sharded store. Construction options
+// (WithQueryParallelism, WithSegmentFormat, WithShards) configure the
+// assembled system; per-call options are ignored here.
 func Create(cfg Config, opts ...Option) (*System, error) {
 	o := resolveOptions(opts)
 	format := o.segmentFormat
 	if format == 0 {
 		format = nfstore.DefaultSegmentFormat
 	}
-	store, err := nfstore.CreateFormat(cfg.StoreDir, cfg.BinSeconds, format)
+	var (
+		store nfstore.Engine
+		err   error
+	)
+	if o.shards > 1 {
+		store, err = shardstore.Create(cfg.StoreDir, cfg.BinSeconds, o.shards, o.shardPartition, format)
+	} else {
+		store, err = nfstore.CreateFormat(cfg.StoreDir, cfg.BinSeconds, format)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return assemble(store, cfg, opts)
 }
 
-// Open opens a system over an existing flow store. Construction options
+// Open opens a system over an existing flow store: cfg.StoreDir (a
+// single directory or a sharded store, auto-detected from its shard
+// manifest), or — with WithPeers — a read-only cluster of remote rcad
+// shards, in which case cfg.StoreDir is ignored. Construction options
 // (WithQueryParallelism) configure the assembled system.
 func Open(cfg Config, opts ...Option) (*System, error) {
-	store, err := nfstore.Open(cfg.StoreDir)
+	o := resolveOptions(opts)
+	var (
+		store nfstore.Engine
+		err   error
+	)
+	switch {
+	case len(o.peers) > 0:
+		store, err = shardstore.OpenRemote(context.Background(), o.peers,
+			shardstore.RemoteOptions{Timeout: o.peerTimeout})
+	case shardstore.IsShardedDir(cfg.StoreDir):
+		store, err = shardstore.Open(cfg.StoreDir)
+	default:
+		store, err = nfstore.Open(cfg.StoreDir)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return assemble(store, cfg, opts)
 }
 
-func assemble(store *nfstore.Store, cfg Config, options []Option) (*System, error) {
+func assemble(store nfstore.Engine, cfg Config, options []Option) (*System, error) {
 	o := resolveOptions(options)
 	if o.queryParallelism > 0 {
 		store.SetParallelism(o.queryParallelism)
 	}
+	// Store-type-specific tuning goes through optional interfaces: a
+	// sharded store fans these out, a remote cluster rejects writes.
 	if o.zmCacheEntries > 0 {
-		store.SetZoneMapCacheSize(o.zmCacheEntries)
+		if zc, ok := store.(interface{ SetZoneMapCacheSize(int) }); ok {
+			zc.SetZoneMapCacheSize(o.zmCacheEntries)
+		}
 	}
 	if o.segmentFormat != 0 {
-		if err := store.SetSegmentFormat(o.segmentFormat); err != nil {
-			store.Close()
-			return nil, err
+		if sf, ok := store.(interface{ SetSegmentFormat(uint16) error }); ok {
+			if err := sf.SetSegmentFormat(o.segmentFormat); err != nil {
+				store.Close()
+				return nil, err
+			}
+		}
+	}
+	if o.degradedReads {
+		if dg, ok := store.(interface{ SetDegraded(bool) }); ok {
+			dg.SetDegraded(true)
 		}
 	}
 	var db *alarmdb.DB
@@ -436,8 +525,32 @@ func assemble(store *nfstore.Store, cfg Config, options []Option) (*System, erro
 	return &System{store: store, alarms: db, ex: ex, exOpts: opts, jobs: mgr}, nil
 }
 
-// Store exposes the underlying flow store for ingest and ad-hoc queries.
-func (s *System) Store() *nfstore.Store { return s.store }
+// Store exposes the underlying flow store engine for ingest and ad-hoc
+// queries — a single *nfstore.Store, a sharded store, or a remote
+// cluster, all behind the same query surface.
+func (s *System) Store() nfstore.Engine { return s.store }
+
+// ShardStat is one shard's observability snapshot (scan counters,
+// segment census, and — for an unreachable peer — the error).
+type ShardStat = shardstore.ShardStat
+
+// ShardStats returns the per-shard observability breakdown of a sharded
+// or cluster-mode system, nil for a single-store system.
+func (s *System) ShardStats() []ShardStat {
+	if st, ok := s.store.(*shardstore.ShardedStore); ok {
+		return st.ShardStats()
+	}
+	return nil
+}
+
+// ShardNames lists the shard names of a sharded or cluster-mode system
+// (directory names or peer URLs), nil for a single-store system.
+func (s *System) ShardNames() []string {
+	if st, ok := s.store.(*shardstore.ShardedStore); ok {
+		return st.ShardNames()
+	}
+	return nil
+}
 
 // QueryStats is a snapshot of the flow store's scan counters: segments
 // considered, pruned via zone-map sidecars, scanned, answered entirely
