@@ -1,0 +1,88 @@
+// Live-mode follower (-follow): a minimal SSE client over rcad's
+// /api/v1/stream/incidents feed, printing one line per event as the
+// server's watcher opens, extracts, or fails incidents.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	rootcause "repro"
+)
+
+// followLive tails the live incident feed of the rcad at baseURL until
+// the server drains or ctx is cancelled (^C). Returns nil on a clean
+// server-side close so `detect -follow` composes with a finite replay.
+func followLive(ctx context.Context, baseURL string) error {
+	url := strings.TrimRight(baseURL, "/") + "/api/v1/stream/incidents"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("follow: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	fmt.Printf("following %s\n", url)
+
+	// SSE framing: "event:"/"data:" lines accumulate until a blank line
+	// dispatches the event. Comment lines (leading ':') are keepalives.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 4<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case len(line) == 0:
+			if len(data) > 0 {
+				printEvent(data)
+				data = nil
+			}
+		case bytes.HasPrefix(line, []byte("data:")):
+			data = append(data, bytes.TrimSpace(line[len("data:"):])...)
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// printEvent renders one StreamEvent as a log line.
+func printEvent(raw []byte) {
+	var ev rootcause.StreamEvent
+	if err := json.Unmarshal(raw, &ev); err != nil {
+		fmt.Printf("?? unparseable event: %v\n", err)
+		return
+	}
+	stamp := ev.Time.UTC().Format("15:04:05")
+	inc := ev.Incident.Incident
+	switch ev.Type {
+	case rootcause.StreamEventIncident:
+		fmt.Printf("%s incident %s [%s]: %d alarm(s), kinds %v, job %s\n",
+			stamp, ev.IncidentID, inc.Interval, len(inc.AlarmIDs), inc.Kinds, ev.JobID)
+	case rootcause.StreamEventExtracted:
+		top := "(no itemsets)"
+		if ev.Result != nil && len(ev.Result.Itemsets) > 0 {
+			rep := &ev.Result.Itemsets[0]
+			top = fmt.Sprintf("%s (score %.2f)", rep.Items.String(), rep.Score)
+		}
+		fmt.Printf("%s extracted %s (job %s): %s\n", stamp, ev.IncidentID, ev.JobID, top)
+	case rootcause.StreamEventError:
+		fmt.Printf("%s error %s: %s\n", stamp, ev.IncidentID, ev.Err)
+	default:
+		fmt.Printf("%s %s %s\n", stamp, ev.Type, ev.IncidentID)
+	}
+}

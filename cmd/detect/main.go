@@ -28,6 +28,8 @@ func main() {
 		to       = flag.Uint("to", 0, "span end, unix seconds (0 = store end)")
 		corr     = flag.Bool("correlate", false,
 			"after detection, dedup + correlate the stored alarms into incidents and print them")
+		follow = flag.String("follow", "",
+			"tail a live rcad's incident feed (SSE) at this base URL instead of running a detector")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), `usage: detect -store DIR [flags]
@@ -45,14 +47,29 @@ deduplicated and clustered into incidents (docs/incidents.md) and each
 incident is printed with its lead-lag chain; extract them with
 extract -incident ID.
 
+With -follow URL no detector runs at all: detect tails the live
+incident feed (SSE) of the rcad -live at URL, printing each incident
+the watcher opens and each finished auto-extraction until the server
+drains or ^C.
+
 Example:
   detect -store /tmp/flows -detector netreflex -correlate
+  detect -follow http://localhost:8080
 
 Flags:
 `)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *follow != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := followLive(ctx, *follow); err != nil {
+			fmt.Fprintln(os.Stderr, "detect:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "detect: -store is required")
 		flag.Usage()

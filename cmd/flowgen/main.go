@@ -16,16 +16,23 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/nfstore"
 	"repro/internal/report"
 	"repro/internal/shardstore"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -48,13 +55,26 @@ func main() {
 		shards    = flag.Int("shards", 0, "partition the new store into N shards (0/1 = single store)")
 		partition = flag.String("shard-partition", shardstore.PartitionTime,
 			"sharding scheme with -shards: time (whole bins round-robin) or hash (by router)")
+		live = flag.Bool("live", false,
+			"replay the generated trace as an NDJSON record stream in clock order instead of writing a store (to stdout, or to -live-url)")
+		rate = flag.Float64("rate", 0,
+			"with -live, replay rate in records per second (0 = as fast as possible)")
+		liveURL = flag.String("live-url", "",
+			"with -live, POST the stream to this rcad base URL's /api/v1/stream/ingest instead of stdout")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `usage: flowgen -out DIR [flags]
+       flowgen -live [-rate N] [-live-url URL] [flags]
 
 Generate a labeled synthetic NetFlow trace into a new flow store — the
 stand-in for the GEANT/SWITCH feeds of the paper's deployments. The
 ground-truth table of injected anomalies is printed on success.
+
+With -live the trace is not stored: it is replayed in clock order as an
+NDJSON record stream (one JSON object per line) to stdout, or POSTed to
+a live rcad's /api/v1/stream/ingest with -live-url. -rate paces the
+replay in records per second (0 = flat out); the ground-truth table
+goes to stderr.
 
 Scenarios (-scenario):
   quiet      background traffic only
@@ -78,14 +98,21 @@ Flags:
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "flowgen: -out is required")
+	if *out == "" && !*live {
+		fmt.Fprintln(os.Stderr, "flowgen: -out is required (or -live to stream)")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*out, *scenario, *bins, uint32(*binSec), *pops, *flowsBin, *hosts, *servers,
-		*seed, uint32(*sample), uint32(*start), *anomBin, *diurnal, uint16(*segFmt),
-		*shards, *partition); err != nil {
+	var err error
+	if *live {
+		err = runLive(os.Stdout, *liveURL, *scenario, *bins, uint32(*binSec), *pops, *flowsBin,
+			*hosts, *servers, *seed, uint32(*sample), uint32(*start), *anomBin, *diurnal, *rate)
+	} else {
+		err = run(*out, *scenario, *bins, uint32(*binSec), *pops, *flowsBin, *hosts, *servers,
+			*seed, uint32(*sample), uint32(*start), *anomBin, *diurnal, uint16(*segFmt),
+			*shards, *partition)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowgen:", err)
 		os.Exit(1)
 	}
@@ -142,6 +169,106 @@ func run(out, scenarioName string, bins int, binSec uint32, pops, flowsBin, host
 		}
 		fmt.Print(t.String())
 	}
+	return nil
+}
+
+// runLive generates the scenario into a write-only collector and replays
+// it as an NDJSON record stream in clock order — to w (stdout) or, with a
+// base URL, POSTed to rcad's /api/v1/stream/ingest. The ground-truth
+// table goes to stderr so the stream stays clean.
+func runLive(w io.Writer, baseURL, scenarioName string, bins int, binSec uint32,
+	pops, flowsBin, hosts, servers int, seed uint64, sample, start uint32,
+	anomBin int, diurnal bool, rate float64) error {
+	if anomBin < 0 {
+		anomBin = bins * 2 / 3
+	}
+	placements, err := scenarioPlacements(scenarioName, anomBin, seed)
+	if err != nil {
+		return err
+	}
+	col := stream.NewCollector(binSec)
+	s := gen.Scenario{
+		Background: gen.Background{
+			NumPoPs: pops, FlowsPerBin: flowsBin,
+			Hosts: hosts, Servers: servers, Diurnal: diurnal,
+		},
+		Bins: bins, StartTime: start, Seed: seed,
+		SampleRate: sample, Placements: placements,
+	}
+	truth, err := s.Generate(col)
+	if err != nil {
+		return err
+	}
+	recs := col.Sorted()
+
+	fmt.Fprintf(os.Stderr, "replaying %d records: span %s, %d background flows\n",
+		len(recs), truth.Span, truth.BackgroundFlows)
+	if len(truth.Entries) > 0 {
+		t := report.New("ground truth", "anno", "kind", "description", "interval",
+			"injected flows", "stored flows", "stored packets")
+		for _, e := range truth.Entries {
+			t.AddRow(fmt.Sprintf("%d", e.Anno), string(e.Kind), e.Describe,
+				e.Interval.String(),
+				fmt.Sprintf("%d", e.InjectedFlows),
+				fmt.Sprintf("%d", e.StoredFlows),
+				fmt.Sprintf("%d", e.StoredPkts))
+		}
+		fmt.Fprint(os.Stderr, t.String())
+	}
+
+	if baseURL != "" {
+		return postStream(baseURL, recs, rate)
+	}
+	return emitStream(w, recs, rate)
+}
+
+// emitStream writes one NDJSON line per record, pacing to rate records
+// per second against a wall-clock schedule (so pacing error does not
+// accumulate); rate 0 streams flat out.
+func emitStream(w io.Writer, recs []flow.Record, rate float64) error {
+	bw := bufio.NewWriter(w)
+	began := time.Now()
+	for i := range recs {
+		if rate > 0 {
+			due := began.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				// Flush before sleeping so a downstream consumer sees a
+				// steady trickle, not buffer-sized bursts.
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+				time.Sleep(d)
+			}
+		}
+		raw, err := json.Marshal(recs[i])
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(append(raw, '\n')); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// postStream streams the records to an rcad ingest endpoint as one
+// chunked POST, pacing the request body itself so backpressure flows
+// both ways: the server blocks us when its buffer fills, and -rate
+// throttles the server.
+func postStream(baseURL string, recs []flow.Record, rate float64) error {
+	pr, pw := io.Pipe()
+	go func() { pw.CloseWithError(emitStream(pw, recs, rate)) }()
+	resp, err := http.Post(strings.TrimRight(baseURL, "/")+"/api/v1/stream/ingest",
+		"application/x-ndjson", pr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ingest: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	fmt.Fprintf(os.Stderr, "flowgen: %s\n", bytes.TrimSpace(body))
 	return nil
 }
 

@@ -30,6 +30,13 @@
 //	POST /api/v1/incidents/{id}/extract  submit the incident's ONE extraction
 //	                                     job (202 + job status)
 //
+// Streaming API (with -live; docs/streaming.md):
+//
+//	POST /api/v1/stream/ingest     NDJSON flow records, ingested continuously
+//	                               (backpressure propagates via flow control)
+//	GET  /api/v1/stream/incidents  SSE tail of auto-correlated, auto-extracted
+//	                               incidents
+//
 // Submissions are admission-controlled: a full job queue answers 429
 // (with Retry-After) instead of stacking blocked connections.
 //
@@ -82,15 +89,16 @@ import (
 	"repro/internal/shardstore"
 )
 
-// splitPeers parses the -peers flag into peer URLs.
-func splitPeers(s string) []string {
-	var peers []string
+// splitList parses a comma-separated flag (-peers, -live-detectors) into
+// its non-empty elements.
+func splitList(s string) []string {
+	var items []string
 	for _, p := range strings.Split(s, ",") {
 		if p = strings.TrimSpace(p); p != "" {
-			peers = append(peers, p)
+			items = append(items, p)
 		}
 	}
-	return peers
+	return items
 }
 
 func main() {
@@ -117,6 +125,12 @@ func main() {
 			"per-peer timeout for unary cluster calls (0 = 10s)")
 		degraded = flag.Bool("degraded", false,
 			"return partial results when some (not all) shards fail instead of erroring")
+		live = flag.Bool("live", false,
+			"start the live streaming pipeline: accept continuous ingest on POST /api/v1/stream/ingest, run online detectors, auto-correlate and auto-extract incidents (local store only)")
+		liveDetectors = flag.String("live-detectors", "",
+			"comma-separated online detectors for -live (empty = cusum,sketch)")
+		sealLag = flag.Uint("seal-lag", 0,
+			"with -live, seconds past a bin's end before it seals (grace for out-of-order records)")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), `usage: rcad -store DIR [flags]
@@ -146,8 +160,13 @@ Incident API (alarm dedup + temporal correlation):
   GET  /api/v1/incidents/{id}         one incident + member alarms + chain
   POST /api/v1/incidents/{id}/extract submit the incident's ONE extraction job
 
+Streaming API (with -live):
+  POST /api/v1/stream/ingest      NDJSON flow records, continuous ingest
+  GET  /api/v1/stream/incidents   SSE tail of auto-extracted incidents
+
 Legacy endpoints (synchronous wrappers over the job manager):
-  GET  /api/health                (query_stats, job counts, event streams)
+  GET  /api/health                (query_stats, job counts, event streams,
+                                  and with -live the streaming census)
   GET  /api/detectors
   GET  /api/miners
   POST /api/detect                {"detector":"netreflex","from":U,"to":U}
@@ -174,7 +193,7 @@ Flags:
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	peerList := splitPeers(*peers)
+	peerList := splitList(*peers)
 	if *storeDir == "" && len(peerList) == 0 {
 		fmt.Fprintln(os.Stderr, "rcad: -store is required (or -peers for cluster mode)")
 		flag.Usage()
@@ -192,7 +211,23 @@ Flags:
 	if len(peerList) > 0 {
 		opts = append(opts, rootcause.WithPeers(peerList), rootcause.WithPeerTimeout(*peerTimeout))
 	}
-	sys, err := rootcause.Open(rootcause.Config{StoreDir: *storeDir, AlarmDBPath: *dbPath}, opts...)
+	if *live {
+		if len(peerList) > 0 {
+			fmt.Fprintln(os.Stderr, "rcad: -live requires a local store, not cluster mode (-peers)")
+			os.Exit(2)
+		}
+		opts = append(opts, rootcause.WithLive(rootcause.LiveConfig{
+			Detectors:      splitList(*liveDetectors),
+			SealLagSeconds: uint32(*sealLag),
+		}))
+	}
+	open := rootcause.Open
+	if *live && !storeExists(*storeDir) {
+		// A live server may start cold: records arrive over the ingest
+		// endpoint, so an empty directory is a fresh store, not an error.
+		open = rootcause.Create
+	}
+	sys, err := open(rootcause.Config{StoreDir: *storeDir, AlarmDBPath: *dbPath}, opts...)
 	if err != nil {
 		log.Fatal("rcad: ", err)
 	}
@@ -243,6 +278,15 @@ func run(sys *rootcause.System, listen string, drain time.Duration) error {
 	log.Printf("rcad: shutting down (drain %s)", drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
+	if sys.Live() {
+		// Drain the live pipeline first: seal the open bins, let the
+		// watcher and in-flight auto-extractions finish, then close the
+		// incident feed — which releases the SSE tails that would
+		// otherwise hold Shutdown open for the whole window.
+		if derr := sys.DrainLive(shutdownCtx); derr != nil {
+			log.Printf("rcad: live drain: %v", derr)
+		}
+	}
 	err = srv.Shutdown(shutdownCtx)
 	if err != nil {
 		// Drain window expired: cancel the stragglers' contexts and force
@@ -277,6 +321,10 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleJobEvents)
+
+	// Streaming surface (-live): continuous ingest + SSE incident tail.
+	mux.HandleFunc("POST /api/v1/stream/ingest", s.handleStreamIngest)
+	mux.HandleFunc("GET /api/v1/stream/incidents", s.handleStreamIncidents)
 
 	mux.HandleFunc("POST /api/v1/correlate", s.handleCorrelate)
 	mux.HandleFunc("GET /api/v1/incidents", s.handleIncidents)
@@ -373,6 +421,11 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"jobs":            jobsByState,
 		"incidents":       s.sys.IncidentCounts(),
 		"event_streams":   s.sseStreams.Load(),
+	}
+	// Live mode adds the streaming census: open bins, stream clock,
+	// ingest rate, drops, watcher backlog and the automation counters.
+	if st := s.sys.StreamStats(); st != nil {
+		health["stream"] = st
 	}
 	// Sharded and cluster-mode systems add the per-shard breakdown: the
 	// rollup above stays, each shard's counters and segment census (or

@@ -1,0 +1,126 @@
+// Live streaming surface (-live): continuous NDJSON ingest and the SSE
+// incident tail. Both endpoints answer 409 on a system built without
+// -live, so the routes are always registered and discoverable.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	rootcause "repro"
+	"repro/internal/stream"
+)
+
+// ingestMaxLine bounds one NDJSON ingest line; a record is ~200 bytes,
+// so 1 MiB only rejects garbage, not traffic.
+const ingestMaxLine = 1 << 20
+
+// storeExists reports whether dir already holds a plain or sharded
+// flow store.
+func storeExists(dir string) bool {
+	for _, manifest := range []string{"store.json", "shards.json"} {
+		if _, err := os.Stat(filepath.Join(dir, manifest)); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// handleStreamIngest consumes an NDJSON stream of flow records into the
+// live pipeline, blocking per record while the ingest buffer is full
+// (backpressure propagates to the HTTP client through flow control).
+// The response reports how many records were accepted. A malformed line
+// fails the request with its line number; records before it are already
+// ingested — the stream is append-only, not transactional.
+func (s *server) handleStreamIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.sys.Live() {
+		writeError(w, http.StatusConflict, rootcause.ErrNotLive)
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), ingestMaxLine)
+	var n uint64
+	for line := 1; sc.Scan(); line++ {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec rootcause.Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error": fmt.Sprintf("line %d: %v", line, err), "ingested": n,
+			})
+			return
+		}
+		if err := s.sys.Ingest(r.Context(), &rec); err != nil {
+			if r.Context().Err() != nil {
+				return // client gone; nothing to answer
+			}
+			status := http.StatusInternalServerError
+			if errors.Is(err, stream.ErrClosed) {
+				status = http.StatusConflict
+			}
+			writeJSON(w, status, map[string]any{"error": err.Error(), "ingested": n})
+			return
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error(), "ingested": n})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ingested": n})
+}
+
+// handleStreamIncidents tails the live incident feed as server-sent
+// events: one event per StreamEvent ("incident", "extracted", "error"),
+// named by its type. The stream closes when live mode drains or the
+// client disconnects; a client that stops reading is torn down by the
+// per-event write deadline, and the feed drops events to slow consumers
+// rather than stalling the watcher.
+func (s *server) handleStreamIncidents(w http.ResponseWriter, r *http.Request) {
+	events, cancel, err := s.sys.TailIncidents()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	defer cancel()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	s.sseStreams.Add(1)
+	defer s.sseStreams.Add(-1)
+	rc := http.NewResponseController(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			raw, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, raw); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

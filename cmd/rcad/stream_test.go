@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	rootcause "repro"
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+// newLiveServer builds an empty live-mode system wrapped in an httptest
+// server; records arrive only through the ingest endpoint.
+func newLiveServer(t *testing.T, cfg rootcause.LiveConfig) (*httptest.Server, *server) {
+	t.Helper()
+	dir := t.TempDir()
+	sys, err := rootcause.Create(rootcause.Config{
+		StoreDir:    filepath.Join(dir, "flows"),
+		AlarmDBPath: filepath.Join(dir, "alarms.json"),
+	}, rootcause.WithLive(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	hs := &server{sys: sys}
+	srv := httptest.NewServer(hs.routes())
+	t.Cleanup(srv.Close)
+	return srv, hs
+}
+
+func TestStreamEndpointsRequireLive(t *testing.T) {
+	srv, _, _ := newTestServerFull(t) // batch-mode system
+	resp, err := http.Post(srv.URL+"/api/v1/stream/ingest", "application/x-ndjson",
+		strings.NewReader(`{"start":1,"src":"10.0.0.1","dst":"10.0.0.2","proto":"tcp","packets":1,"bytes":40}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("ingest on batch system: status %d, want 409", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/api/v1/stream/incidents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("tail on batch system: status %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestStreamIngestCountsAndRejects(t *testing.T) {
+	srv, hs := newLiveServer(t, rootcause.LiveConfig{DisableAutoExtract: true})
+
+	body := strings.Join([]string{
+		`{"start":1300000200,"src":"10.0.0.1","dst":"198.18.0.1","dport":80,"proto":"tcp","packets":2,"bytes":120}`,
+		``, // blank lines are skipped, not counted
+		`{"start":1300000201,"src":"10.0.0.2","dst":"198.18.0.1","dport":80,"proto":"udp","packets":1,"bytes":60}`,
+	}, "\n")
+	resp, err := http.Post(srv.URL+"/api/v1/stream/ingest", "application/x-ndjson",
+		strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct {
+		Ingested uint64 `json:"ingested"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || accepted.Ingested != 2 {
+		t.Fatalf("status %d ingested %d, want 200/2", resp.StatusCode, accepted.Ingested)
+	}
+
+	// A malformed line fails with its line number; the record before it
+	// is already in (append-only, not transactional).
+	bad := `{"start":1300000202,"src":"10.0.0.3","dst":"198.18.0.1","proto":"tcp","packets":1,"bytes":40}` +
+		"\n" + `{"start":1300000203,"src":"not-an-ip","dst":"198.18.0.1","proto":"tcp","packets":1,"bytes":40}`
+	resp, err = http.Post(srv.URL+"/api/v1/stream/ingest", "application/x-ndjson",
+		strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejected struct {
+		Error    string `json:"error"`
+		Ingested uint64 `json:"ingested"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rejected); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed line: status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(rejected.Error, "line 2") || rejected.Ingested != 1 {
+		t.Fatalf("rejection = %+v, want line 2 after 1 ingested", rejected)
+	}
+
+	// The census surfaces the stream section with everything accepted.
+	var health struct {
+		Stream *rootcause.StreamStats `json:"stream"`
+	}
+	getJSON(t, srv.URL+"/api/health", &health)
+	if health.Stream == nil {
+		t.Fatal("health has no stream section on a live system")
+	}
+	if health.Stream.Ingested != 3 {
+		t.Fatalf("health stream ingested = %d, want 3", health.Stream.Ingested)
+	}
+	if hs.sseStreams.Load() != 0 {
+		t.Fatalf("sse streams = %d, want 0", hs.sseStreams.Load())
+	}
+}
+
+// TestStreamLiveEndToEndHTTP drives the full loop over the wire: a
+// catalog scenario is replayed through POST /api/v1/stream/ingest and
+// the SSE tail must announce an auto-extracted incident covering the
+// ground-truth interval — no manual detect/correlate/extract calls.
+func TestStreamLiveEndToEndHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full live replay")
+	}
+	srv, hs := newLiveServer(t, rootcause.LiveConfig{})
+
+	def, ok := gen.Lookup("ddos-syn")
+	if !ok {
+		t.Fatal("ddos-syn not in catalog")
+	}
+	col := stream.NewCollector(300)
+	scenario := gen.Scenario{
+		Background: gen.Background{NumPoPs: 2, FlowsPerBin: 150, Hosts: 500, Servers: 80},
+		Bins:       4, StartTime: 1_300_000_200, Seed: 42,
+		Placements: def.Placements(42, 2),
+	}
+	truth, err := scenario.Generate(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tail first, so no event is missed.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/api/v1/stream/incidents", nil)
+	tail, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Body.Close()
+	if tail.StatusCode != http.StatusOK {
+		t.Fatalf("tail status %d", tail.StatusCode)
+	}
+	events := make(chan rootcause.StreamEvent, 64)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(tail.Body)
+		sc.Buffer(make([]byte, 64*1024), 4<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if !bytes.HasPrefix(line, []byte("data:")) {
+				continue
+			}
+			var ev rootcause.StreamEvent
+			if err := json.Unmarshal(bytes.TrimSpace(line[len("data:"):]), &ev); err == nil {
+				events <- ev
+			}
+		}
+	}()
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range col.Sorted() {
+		if err := enc.Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/api/v1/stream/ingest", "application/x-ndjson", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct {
+		Ingested uint64 `json:"ingested"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+
+	// Drain seals the tail bins and waits out the watcher; the SSE feed
+	// then closes, ending the collector goroutine.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := hs.sys.DrainLive(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	want := truth.Entries[0].Interval
+	var extracted *rootcause.StreamEvent
+	for ev := range events {
+		if ev.Type == rootcause.StreamEventExtracted &&
+			ev.Incident.Incident.Interval.Overlaps(want) {
+			e := ev
+			extracted = &e
+		}
+	}
+	if extracted == nil {
+		t.Fatalf("no extracted event over the flood interval %s", want)
+	}
+	if extracted.Result == nil || len(extracted.Result.Itemsets) == 0 {
+		t.Fatal("extracted event carries no itemsets")
+	}
+	top := extracted.Result.Itemsets[0].Items.String()
+	if !strings.Contains(top, "198.19.7.7") {
+		t.Fatalf("top itemset %q does not name the flood victim", top)
+	}
+}

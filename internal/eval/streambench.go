@@ -1,0 +1,224 @@
+// Streaming-pipeline benchmark: replay a catalog scenario through the
+// live ingest path and measure the two numbers that size a deployment —
+// sustained ingest throughput, and how long the automation takes to turn
+// a sealed bin into an incident and a finished extraction.
+package eval
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	rootcause "repro"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/nfstore"
+	"repro/internal/stream"
+)
+
+// StreamBenchConfig sizes the replayed trace.
+type StreamBenchConfig struct {
+	// Scenario is a catalog name (default ddos-syn).
+	Scenario string
+	// Bins and FlowsPerBin size the background (defaults 10 and 400).
+	Bins, FlowsPerBin int
+	// Seed fixes the trace (default 42).
+	Seed uint64
+}
+
+// StreamBenchRow is one measured mode of the live pipeline over the
+// same replayed trace.
+type StreamBenchRow struct {
+	// Mode is "detect-only" (auto-extraction disabled: ingest + online
+	// detection + correlation) or "auto-extract" (the full loop).
+	Mode string
+	// Records replayed and ingest-loop throughput.
+	Records  int
+	RecsPerS float64
+	// DrainMS is the shutdown cost: sealing the tail bins and waiting
+	// out the watcher and in-flight extractions.
+	DrainMS float64
+	// SealedBins and Incidents/Extracted summarize the automation.
+	SealedBins           uint64
+	Incidents, Extracted int
+	// MeanIncidentMS/MaxIncidentMS measure seal-to-incident latency:
+	// from the stream clock passing a bin's end to the watcher
+	// publishing that bin's incident (correlation + job submission).
+	// MeanExtractMS adds the extraction itself.
+	MeanIncidentMS, MaxIncidentMS float64
+	MeanExtractMS                 float64
+	// TruthRank is the ground-truth rank of the top itemset extracted
+	// for the injected anomaly's incident (1 = top-ranked, 0 = absent
+	// or not applicable in detect-only mode).
+	TruthRank int
+}
+
+// RunStreamBench generates the scenario once, then replays it flat-out
+// through a live system in each mode.
+func RunStreamBench(workDir string, cfg StreamBenchConfig) ([]StreamBenchRow, error) {
+	if cfg.Scenario == "" {
+		cfg.Scenario = "ddos-syn"
+	}
+	if cfg.Bins == 0 {
+		cfg.Bins = 10
+	}
+	if cfg.FlowsPerBin == 0 {
+		cfg.FlowsPerBin = 400
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	def, ok := gen.Lookup(cfg.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("stream bench: unknown scenario %q", cfg.Scenario)
+	}
+	col := stream.NewCollector(nfstore.DefaultBinSeconds)
+	scenario := gen.Scenario{
+		Background: gen.Background{NumPoPs: 4, FlowsPerBin: cfg.FlowsPerBin,
+			Hosts: 2000, Servers: 300},
+		Bins: cfg.Bins, StartTime: 1_300_000_200, Seed: cfg.Seed,
+		Placements: def.Placements(cfg.Seed, cfg.Bins*2/3),
+	}
+	truth, err := scenario.Generate(col)
+	if err != nil {
+		return nil, err
+	}
+	recs := col.Sorted()
+
+	var rows []StreamBenchRow
+	for _, mode := range []struct {
+		name string
+		auto bool
+	}{
+		{"detect-only", false},
+		{"auto-extract", true},
+	} {
+		row, err := runStreamOnce(workDir+"/"+mode.name, mode.name, recs, truth, mode.auto)
+		if err != nil {
+			return nil, fmt.Errorf("stream bench %s: %w", mode.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runStreamOnce replays recs through one fresh live system.
+func runStreamOnce(dir, mode string, recs []flow.Record, truth *gen.Truth, auto bool) (StreamBenchRow, error) {
+	row := StreamBenchRow{Mode: mode, Records: len(recs)}
+	sys, err := rootcause.Create(rootcause.Config{
+		StoreDir:    dir + "/flows",
+		AlarmDBPath: dir + "/alarms.json",
+	}, rootcause.WithLive(rootcause.LiveConfig{
+		DisableAutoExtract: !auto,
+		Buffer:             4096,
+	}))
+	if err != nil {
+		return row, err
+	}
+	defer sys.Close()
+
+	var events []rootcause.StreamEvent
+	done := make(chan struct{})
+	if auto {
+		ch, cancel, err := sys.TailIncidents()
+		if err != nil {
+			return row, err
+		}
+		defer cancel()
+		go func() {
+			defer close(done)
+			for ev := range ch {
+				events = append(events, ev)
+			}
+		}()
+	} else {
+		close(done)
+	}
+
+	// Replay flat out, stamping when the stream clock first passes each
+	// bin's end — the moment the pipeline may seal it. Incident latency
+	// is measured from that stamp, so it covers the whole automation:
+	// online-window close, alarm filing, correlation, job submission.
+	ctx := context.Background()
+	binSec := uint32(nfstore.DefaultBinSeconds)
+	crossed := make(map[uint32]time.Time)
+	open := make(map[uint32]bool)
+	var clock uint32
+	t0 := time.Now()
+	for i := range recs {
+		if err := sys.Ingest(ctx, &recs[i]); err != nil {
+			return row, err
+		}
+		r := &recs[i]
+		open[r.Start-r.Start%binSec] = true
+		if r.Start > clock {
+			clock = r.Start
+			for b := range open {
+				if b+binSec <= clock {
+					crossed[b] = time.Now()
+					delete(open, b)
+				}
+			}
+		}
+	}
+	ingestSecs := time.Since(t0).Seconds()
+	if ingestSecs > 0 {
+		row.RecsPerS = float64(len(recs)) / ingestSecs
+	}
+
+	// Drain seals the tail bins; their clock never passed the end.
+	drainStart := time.Now()
+	for b := range open {
+		crossed[b] = drainStart
+	}
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Minute)
+	defer cancel()
+	if err := sys.DrainLive(dctx); err != nil {
+		return row, err
+	}
+	row.DrainMS = float64(time.Since(drainStart).Microseconds()) / 1000
+	<-done
+
+	if st := sys.StreamStats(); st != nil {
+		row.SealedBins = st.SealedBins
+	}
+
+	var incSum, extSum float64
+	var incN, extN int
+	for _, ev := range events {
+		at, ok := crossed[ev.Bin.Start]
+		if !ok {
+			continue
+		}
+		ms := float64(ev.Time.Sub(at).Microseconds()) / 1000
+		switch ev.Type {
+		case rootcause.StreamEventIncident:
+			incSum += ms
+			incN++
+			if ms > row.MaxIncidentMS {
+				row.MaxIncidentMS = ms
+			}
+		case rootcause.StreamEventExtracted:
+			extSum += ms
+			extN++
+			if ev.Result != nil &&
+				ev.Incident.Incident.Interval.Overlaps(truth.Entries[0].Interval) {
+				ts, err := ScoreTruth(sys.Store(), ev.Incident.Incident.Interval,
+					ev.Result, truth, DefaultScoreOptions())
+				if err != nil {
+					return row, err
+				}
+				row.TruthRank = ts.Rank
+			}
+		}
+	}
+	row.Incidents = incN
+	row.Extracted = extN
+	if incN > 0 {
+		row.MeanIncidentMS = incSum / float64(incN)
+	}
+	if extN > 0 {
+		row.MeanExtractMS = extSum / float64(extN)
+	}
+	return row, nil
+}

@@ -344,7 +344,10 @@ func TestV2SegmentCorruptionSurfacesInQuery(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := s.Flush(); err != nil {
+	// Seal (not just Flush) so the bin has no open writer: scans of open
+	// bins deliberately tolerate a short tail as an in-flight append, and
+	// this test is about corruption of closed, durable segments.
+	if err := s.Seal(0); err != nil {
 		t.Fatal(err)
 	}
 	path := s.segPath(0)

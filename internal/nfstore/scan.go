@@ -3,6 +3,7 @@ package nfstore
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -36,8 +37,19 @@ type scanOpts struct {
 // in its header and streams matching records to emit in file order. When
 // the plan asks for it (buildIdx), a zone map of the whole segment is
 // rebuilt as a side effect and persisted best-effort.
+//
+// A segment with a live writer may end mid-row or mid-block on disk —
+// buffered appends reach the file in bufio-sized slices, not record
+// units — so scans of open bins treat a short tail as the end of the
+// flushed prefix instead of corruption: live-mode readers always observe
+// a consistent prefix of the stream. The open check is repeated at error
+// time because a writer can reopen a sealed bin while the scan is in
+// flight; segments without a writer at either point keep the strict
+// errors (a short closed segment really is corrupt).
 func (s *Store) scanSegment(ctx context.Context, p segPlan, opts scanOpts, emit func(*flow.Record) error) error {
 	s.stats.segmentsScanned.Add(1)
+	openAtStart := s.binIsOpen(p.bin)
+	lenient := func() bool { return openAtStart || s.binIsOpen(p.bin) }
 	f, err := os.Open(s.segPath(p.bin))
 	if err != nil {
 		return fmt.Errorf("nfstore: open segment %d: %w", p.bin, err)
@@ -48,6 +60,9 @@ func (s *Store) scanSegment(ctx context.Context, p segPlan, opts scanOpts, emit 
 	defer segReaders.Put(br)
 	hdr := make([]byte, segHeaderSize)
 	if _, err := io.ReadFull(br, hdr); err != nil {
+		if (err == io.EOF || err == io.ErrUnexpectedEOF) && lenient() {
+			return nil // header still in the writer's buffer: empty prefix
+		}
 		return fmt.Errorf("nfstore: segment %d header: %w", p.bin, err)
 	}
 	gotBin, gotBinSec, version, err := decodeSegHeader(hdr)
@@ -58,19 +73,21 @@ func (s *Store) scanSegment(ctx context.Context, p segPlan, opts scanOpts, emit 
 		return fmt.Errorf("nfstore: segment %d header mismatch (bin %d, width %d)", p.bin, gotBin, gotBinSec)
 	}
 	var zb *zoneMap
-	if p.buildIdx {
+	if p.buildIdx && !openAtStart {
+		// Never persist a sidecar built from a mid-write prefix: partial
+		// coverage would only be invalidated and rebuilt again anyway.
 		zb = newZoneMap()
 	}
 	if version == FormatV2 {
-		return s.scanV2(ctx, br, p.bin, zb, opts, emit)
+		return s.scanV2(ctx, br, p.bin, zb, opts, lenient, emit)
 	}
-	return s.scanV1(ctx, br, p.bin, zb, opts, emit)
+	return s.scanV1(ctx, br, p.bin, zb, opts, lenient, emit)
 }
 
 // scanV1 streams a fixed-row segment body: decode every record, apply the
 // interval mask and the filter per row. The context is checked every
 // ctxCheckStride records.
-func (s *Store) scanV1(ctx context.Context, br *bufio.Reader, bin uint32, zb *zoneMap, opts scanOpts, emit func(*flow.Record) error) error {
+func (s *Store) scanV1(ctx context.Context, br *bufio.Reader, bin uint32, zb *zoneMap, opts scanOpts, lenient func() bool, emit func(*flow.Record) error) error {
 	var scanned uint64
 	defer func() { s.stats.recordsScanned.Add(scanned) }()
 	var rec flow.Record
@@ -95,6 +112,9 @@ func (s *Store) scanV1(ctx context.Context, br *bufio.Reader, bin uint32, zb *zo
 				return nil
 			}
 			if err == io.ErrUnexpectedEOF {
+				if lenient() {
+					return nil // partial tail row mid-append: end of the flushed prefix
+				}
 				return fmt.Errorf("nfstore: segment %d truncated", bin)
 			}
 			return fmt.Errorf("nfstore: segment %d read: %w", bin, err)
@@ -132,6 +152,11 @@ type blockReader struct {
 	scratch []byte
 }
 
+// errBlockTruncated marks a segment that ends partway through a block —
+// either corruption (closed segment) or a writer's in-flight buffered
+// append (open segment); scanV2 tells the two apart.
+var errBlockTruncated = errors.New("truncated block")
+
 // next returns the next block's record count and payload. A clean end of
 // the segment returns io.EOF; anything short or mangled is an error. The
 // payload is valid only until the following next call — callers must
@@ -142,7 +167,7 @@ func (r *blockReader) next() (count int, payload []byte, err error) {
 		if len(hdr) == 0 && err == io.EOF {
 			return 0, nil, io.EOF
 		}
-		return 0, nil, fmt.Errorf("truncated block header")
+		return 0, nil, fmt.Errorf("%w header", errBlockTruncated)
 	}
 	count, plen, sum, err := decodeBlockHeader(hdr)
 	if err != nil {
@@ -156,12 +181,12 @@ func (r *blockReader) next() (count int, payload []byte, err error) {
 		_, _ = r.br.Discard(blockHeaderSize + plen)
 		return count, payload, nil
 	} else if perr != bufio.ErrBufferFull {
-		return 0, nil, fmt.Errorf("truncated block payload")
+		return 0, nil, fmt.Errorf("%w payload", errBlockTruncated)
 	}
 	_, _ = r.br.Discard(blockHeaderSize)
 	r.scratch = growBytes(r.scratch, plen)
 	if _, err := io.ReadFull(r.br, r.scratch); err != nil {
-		return 0, nil, fmt.Errorf("truncated block payload")
+		return 0, nil, fmt.Errorf("%w payload", errBlockTruncated)
 	}
 	if blockChecksum(r.scratch) != sum {
 		return 0, nil, fmt.Errorf("block checksum mismatch")
@@ -177,7 +202,7 @@ func (r *blockReader) next() (count int, payload []byte, err error) {
 // runs vectorized over the column batch, and only the selected rows are
 // materialized. Cancellation lands within one block header or one
 // ctxCheckStride of emitted records, whichever is sooner.
-func (s *Store) scanV2(ctx context.Context, br *bufio.Reader, bin uint32, zb *zoneMap, opts scanOpts, emit func(*flow.Record) error) error {
+func (s *Store) scanV2(ctx context.Context, br *bufio.Reader, bin uint32, zb *zoneMap, opts scanOpts, lenient func() bool, emit func(*flow.Record) error) error {
 	var root nffilter.Node
 	if opts.filter != nil {
 		root = opts.filter.Root()
@@ -222,6 +247,9 @@ func (s *Store) scanV2(ctx context.Context, br *bufio.Reader, bin uint32, zb *zo
 			return nil
 		}
 		if err != nil {
+			if errors.Is(err, errBlockTruncated) && lenient() {
+				return nil // partial tail block mid-append: end of the flushed prefix
+			}
 			return fmt.Errorf("nfstore: segment %d: %w", bin, err)
 		}
 		consumed += blockHeaderSize + int64(len(payload))

@@ -1,0 +1,101 @@
+package nfstore
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+// TestSealCommitsBin pins the streaming seal contract: Seal(t) flushes
+// the bin containing t to disk, writes its sidecar, retires the open
+// writer, and fires the OnSeal hook — without touching other open bins.
+func TestSealCommitsBin(t *testing.T) {
+	s := newTestStore(t)
+	var sealed []uint32
+	s.OnSeal(func(bin uint32) { sealed = append(sealed, bin) })
+
+	for i := byte(0); i < 10; i++ {
+		r := testRecord(100, i, 80, 5) // bin 0
+		if err := s.Add(&r); err != nil {
+			t.Fatal(err)
+		}
+		r = testRecord(400, i, 80, 5) // bin 300
+		if err := s.Add(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != 1 || sealed[0] != 0 {
+		t.Fatalf("OnSeal fired with %v, want [0]", sealed)
+	}
+
+	// The sealed bin is durable and queryable with no Flush; bin 300
+	// stays open.
+	recs, err := s.Records(context.Background(), flow.Interval{Start: 0, End: 300}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("sealed bin holds %d records, want 10", len(recs))
+	}
+	s.mu.RLock()
+	_, bin0Open := s.open[0]
+	_, bin300Open := s.open[300]
+	s.mu.RUnlock()
+	if bin0Open {
+		t.Fatal("sealed bin 0 still has an open writer")
+	}
+	if !bin300Open {
+		t.Fatal("untouched bin 300 lost its open writer")
+	}
+
+	// The seal produced the zone-map sidecar alongside the segment.
+	if zm := s.loadZoneMap(0); zm == nil {
+		t.Fatal("sealed bin has no readable sidecar")
+	}
+}
+
+// TestSealEmptyBinFiresHook pins that sealing a bin with no open writer
+// is a no-op that still notifies — the pipeline seals on clock
+// boundaries whether or not records arrived.
+func TestSealEmptyBinFiresHook(t *testing.T) {
+	s := newTestStore(t)
+	var sealed []uint32
+	s.OnSeal(func(bin uint32) { sealed = append(sealed, bin) })
+	if err := s.Seal(923); err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != 1 || sealed[0] != 900 {
+		t.Fatalf("OnSeal fired with %v, want [900]", sealed)
+	}
+}
+
+// TestSealThenAppend pins that a late record after a seal reopens the
+// bin's segment and both the sealed and the late records survive.
+func TestSealThenAppend(t *testing.T) {
+	s := newTestStore(t)
+	r := testRecord(50, 1, 80, 3)
+	if err := s.Add(&r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal(50); err != nil {
+		t.Fatal(err)
+	}
+	late := testRecord(60, 2, 80, 3)
+	if err := s.Add(&late); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal(60); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Records(context.Background(), flow.Interval{Start: 0, End: 300}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("bin holds %d records after seal+append+seal, want 2", len(recs))
+	}
+}

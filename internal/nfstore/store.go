@@ -57,8 +57,9 @@ type Store struct {
 	dir        string
 	binSeconds uint32
 
-	mu   sync.RWMutex
-	open map[uint32]*segWriter // open segment writers by bin start
+	mu     sync.RWMutex
+	open   map[uint32]*segWriter // open segment writers by bin start
+	onSeal func(bin uint32)      // fired after each successful Seal (see seal.go)
 
 	par       atomic.Int32  // query parallelism (0 = auto)
 	pruneOff  atomic.Bool   // zone-map pruning disabled
@@ -839,7 +840,17 @@ func (s *Store) SegmentFormats() (map[uint16]int, error) {
 	for _, bin := range bins {
 		v, err := s.segmentVersion(bin)
 		if err != nil {
-			return nil, err
+			// A live-ingest bin whose header is still in the writer's
+			// buffer has an unreadable (empty) file; report the format the
+			// writer will flush. w.format is set once before the writer is
+			// published, so the racy read is safe.
+			s.mu.RLock()
+			w, ok := s.open[bin]
+			s.mu.RUnlock()
+			if !ok {
+				return nil, err
+			}
+			v = w.format
 		}
 		counts[v]++
 	}

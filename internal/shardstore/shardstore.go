@@ -115,6 +115,9 @@ type ShardedStore struct {
 	locals   []*nfstore.Store
 	par      atomic.Int32
 	degraded atomic.Bool
+
+	sealMu sync.Mutex
+	onSeal func(bin uint32) // fired once per coordinator-level Seal
 }
 
 // Create makes a sharded store of n empty child stores under dir,
@@ -551,6 +554,41 @@ func (st *ShardedStore) SetSegmentFormat(format uint16) error {
 		if err := s.SetSegmentFormat(format); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// Compile-time check: a local sharded store supports bin sealing.
+var _ nfstore.Sealer = (*ShardedStore)(nil)
+
+// OnSeal registers fn to fire once per sealed bin. The hook lives on the
+// coordinator, not the children: Seal fans out to every local shard
+// (under hash partitioning a bin's records spread over all of them) and
+// fires fn exactly once after they all committed.
+func (st *ShardedStore) OnSeal(fn func(bin uint32)) {
+	st.sealMu.Lock()
+	st.onSeal = fn
+	st.sealMu.Unlock()
+}
+
+// Seal finalizes the bin containing t on every local shard, then fires
+// the registered on-seal hook once. Remote shard sets are read-only and
+// cannot seal.
+func (st *ShardedStore) Seal(t uint32) error {
+	if st.locals == nil {
+		return errors.New("shardstore: store is read-only (remote shards)")
+	}
+	for i, s := range st.locals {
+		if err := s.Seal(t); err != nil {
+			return &ShardError{Shard: st.shards[i].Name(), Err: err}
+		}
+	}
+	st.sealMu.Lock()
+	fn := st.onSeal
+	st.sealMu.Unlock()
+	if fn != nil {
+		bin := t - t%st.manifest.BinSeconds
+		fn(bin)
 	}
 	return nil
 }

@@ -1,0 +1,153 @@
+// Package stream is the live ingest subsystem: records arrive one at a
+// time instead of in pre-built bins, online detectors observe them as
+// they pass, and measurement bins seal themselves when the stream clock
+// crosses a bin boundary — converting the offline detect-then-mine
+// pipeline of the paper into an always-on service.
+//
+// The pieces:
+//
+//	producers ──▶ bounded channel ──▶ Pipeline worker ──▶ nfstore (Seal per bin)
+//	                                      │
+//	                          online detectors (Observe)
+//	                                      │
+//	                         OnSealed(bin, alarms) ──▶ watcher (facade)
+//
+// A Pipeline owns one consumer goroutine fed by a bounded channel:
+// Ingest blocks for space (backpressure, bounded by the caller's
+// context), TryIngest drops instead and counts the drop. The worker
+// appends each record to the store, feeds it to every online detector,
+// and advances the stream clock; once the clock passes a bin's end (plus
+// the configured lag for stragglers) the bin is sealed through the
+// store's optional nfstore.Sealer and the detectors' closed-window
+// alarms for the bin are handed to the OnSealed hook — the seam the
+// facade's incident watcher consumes.
+//
+// Online detectors implement Online: per-record Observe plus Advance to
+// force windows closed at bin boundaries and shutdown. The built-ins —
+// "cusum" (change-point detection over per-window volume) and "sketch"
+// (count-min heavy hitters per window) — also register ordinary batch
+// factories in the detector registry, replaying stored bins through a
+// fresh instance, so the same implementations serve System.Detect.
+package stream
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/detector"
+	"repro/internal/flow"
+	"repro/internal/nfstore"
+)
+
+// Online is an anomaly detector that consumes the stream record by
+// record instead of scanning sealed bins. Implementations are NOT safe
+// for concurrent use — the pipeline's single worker goroutine owns them.
+type Online interface {
+	detector.Detector
+
+	// Observe accounts one record and returns any alarms whose windows
+	// this observation closed (usually nil).
+	Observe(r *flow.Record) []detector.Alarm
+
+	// Advance force-closes every window ending at or before now and
+	// returns the alarms those windows raised. The pipeline calls it at
+	// bin seals, and with EndOfStream at shutdown so no window is left
+	// dangling.
+	Advance(now uint32) []detector.Alarm
+}
+
+// EndOfStream is the Advance sentinel for shutdown: it closes the one
+// in-progress window and stops, instead of walking (and feeding zero
+// volumes for) every empty window between the last record and the end
+// of uint32 time.
+const EndOfStream = ^uint32(0)
+
+// windower tracks the current aligned time window of an online detector.
+type windower struct {
+	width   uint32
+	cur     uint32 // current window start
+	started bool
+}
+
+// stepTo makes the window containing t current, invoking closeFn once
+// per completed window start (ascending) on the way. Records earlier
+// than the current window (late stragglers) keep the window unchanged —
+// they are accounted into the current window by the caller.
+func (w *windower) stepTo(t uint32, closeFn func(start uint32)) {
+	nw := t - t%w.width
+	if !w.started {
+		w.cur, w.started = nw, true
+		return
+	}
+	for w.cur < nw {
+		closeFn(w.cur)
+		w.cur += w.width
+	}
+}
+
+// advance closes every window ending at or before now; the EndOfStream
+// sentinel closes exactly the in-progress window. Arithmetic is widened
+// so a now near the uint32 maximum cannot overflow.
+func (w *windower) advance(now uint32, closeFn func(start uint32)) {
+	if !w.started {
+		return
+	}
+	if now == EndOfStream {
+		closeFn(w.cur)
+		w.cur += w.width
+		w.started = false
+		return
+	}
+	for uint64(w.cur)+uint64(w.width) <= uint64(now) {
+		closeFn(w.cur)
+		w.cur += w.width
+	}
+}
+
+// alignedInterval widens a window start to its enclosing align-sized
+// interval — online alarms are reported against full measurement bins so
+// extraction mines the whole bin's flows, like every batch detector.
+func alignedInterval(winStart, align uint32) flow.Interval {
+	a := winStart - winStart%align
+	return flow.Interval{Start: a, End: a + align}
+}
+
+// replayDetect adapts an online detector to the batch Detector contract:
+// the span's records stream out of the store bin by bin, each bin sorted
+// into clock order (segments store records in arrival order), through
+// Observe, with a final Advance at the span end. The caller passes a
+// fresh detector instance — replay mutates its window state.
+func replayDetect(ctx context.Context, d Online, store nfstore.Engine, span flow.Interval) ([]detector.Alarm, error) {
+	binSec := store.BinSeconds()
+	var (
+		out     []detector.Alarm
+		buf     []flow.Record
+		curBin  uint32
+		started bool
+	)
+	flushBin := func() {
+		sort.SliceStable(buf, func(i, j int) bool { return buf[i].Start < buf[j].Start })
+		for i := range buf {
+			out = append(out, d.Observe(&buf[i])...)
+		}
+		buf = buf[:0]
+	}
+	err := store.Query(ctx, span, nil, func(r *flow.Record) error {
+		b := r.Start - r.Start%binSec
+		if !started {
+			curBin, started = b, true
+		}
+		if b != curBin {
+			flushBin()
+			curBin = b
+		}
+		buf = append(buf, *r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	flushBin()
+	out = append(out, d.Advance(span.End)...)
+	return out, nil
+}

@@ -233,6 +233,8 @@ type callOptions struct {
 	dedupWindow       uint32
 	clusterGap        uint32
 	leadLagConfidence float64
+	// Live streaming construction (see live.go / WithLive).
+	live *LiveConfig
 	// extractFn substitutes the extraction engine; a test seam for
 	// exercising ExtractAll's pool without real mining.
 	extractFn func(ctx context.Context, a *Alarm) (*Result, error)
@@ -418,6 +420,7 @@ type System struct {
 	ex     *core.Extractor
 	exOpts core.Options  // the system's base extraction options
 	jobs   *jobs.Manager // the async extraction-job manager
+	live   *liveState    // the streaming pipeline + watcher (nil: batch only)
 }
 
 // Create initializes a new system with a fresh flow store in
@@ -522,7 +525,15 @@ func assemble(store nfstore.Engine, cfg Config, options []Option) (*System, erro
 		QueueDepth: o.jobQueueDepth,
 		ResultTTL:  o.resultTTL,
 	})
-	return &System{store: store, alarms: db, ex: ex, exOpts: opts, jobs: mgr}, nil
+	sys := &System{store: store, alarms: db, ex: ex, exOpts: opts, jobs: mgr}
+	if o.live != nil {
+		if err := sys.startLive(*o.live); err != nil {
+			mgr.Close()
+			store.Close()
+			return nil, err
+		}
+	}
+	return sys, nil
 }
 
 // Store exposes the underlying flow store engine for ingest and ad-hoc
@@ -572,8 +583,12 @@ func (s *System) AddFlows(records []Record) error {
 
 // Close cancels queued and running jobs, waits for the job workers to
 // wind down, then flushes and closes the store and persists the alarm
-// database.
+// database. A live system is drained first: buffered records are
+// consumed, open bins seal, and in-flight auto-extractions conclude.
 func (s *System) Close() error {
+	if s.live != nil {
+		_ = s.DrainLive(context.Background())
+	}
 	s.jobs.Close()
 	err := s.alarms.Save()
 	if cerr := s.store.Close(); err == nil {
