@@ -453,9 +453,11 @@ func runStream(workDir string, seed uint64, cfg evalFlags) error {
 }
 
 // quickScenarios is the reduced -quick matrix: one representative of each
-// major class plus an expect-fail case, sized for CI smoke runs.
+// major class, an expect-fail case and the two replayed-trace scenarios
+// (exercising the trace reader end to end), sized for CI smoke runs.
 var quickScenarios = []string{
 	"portscan", "dns-amplification", "icmp-flood", "link-outage", "stealthy",
+	"trace-ddos", "trace-portscan",
 }
 
 func runEval(workDir string, seed uint64, cfg evalFlags) error {

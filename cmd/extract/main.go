@@ -34,6 +34,7 @@ func main() {
 		to        = flag.Uint("to", 0, "ad-hoc alarm interval end (unix seconds)")
 		meta      = flag.String("meta", "", "ad-hoc meta-data: comma-separated feature=value pairs")
 		minerName = flag.String("miner", "", "frequent-itemset miner (see rootcause.MinerNames; default apriori)")
+		ranking   = flag.String("ranking", "", "itemset ranking mode: support (default), lift or weighted")
 		minSets   = flag.Int("min-itemsets", 0, "override: self-tuning target minimum itemsets")
 		maxSets   = flag.Int("max-itemsets", 0, "override: maximum reported itemsets")
 		frac      = flag.Float64("support-frac", 0, "override: initial support fraction (0,1]")
@@ -58,9 +59,16 @@ over the incident's full interval, and every member is marked analyzed.
 Ad-hoc meta-data (-meta) is a comma-separated feature=value list over
 srcIP, dstIP, srcPort, dstPort, proto.
 
--miner selects the frequent-itemset miner: apriori (default) or
-fpgrowth, plus any externally registered name. All miners produce
-identical itemsets; they differ only in speed per dataset shape.
+-miner selects the frequent-itemset miner: apriori (default), fpgrowth
+or fda, plus any externally registered name. apriori and fpgrowth
+produce identical itemsets and differ only in speed; fda additionally
+prunes statistically insignificant items and low-lift itemsets (a
+subset of the canonical output — see docs/mining.md).
+
+-ranking selects how the final list is scored: support (max flow/packet
+share, the default), lift (observed share over the independence
+expectation) or weighted (share x log2(1+lift), inverse-support
+weighting that boosts specific conjunctions).
 
 -async routes the extraction through the system's job manager (the
 same path rcad's /api/v1/jobs serves) and prints sampled progress —
@@ -70,6 +78,7 @@ phase, tuning round, streamed flows — to stderr while mining runs;
 Examples:
   extract -store /tmp/flows -alarmdb /tmp/flows/alarms.json -id 1
   extract -store /tmp/flows -id 1 -miner fpgrowth
+  extract -store /tmp/flows -id 1 -miner fda -ranking weighted
   extract -store /tmp/flows -id 1 -async
   extract -store /tmp/flows -incident i1
   extract -store /tmp/flows -from 1300000800 -to 1300001100 \
@@ -88,6 +97,9 @@ Flags:
 	opts := rootcause.DefaultExtractionOptions()
 	if *minerName != "" {
 		opts.Miner = *minerName
+	}
+	if *ranking != "" {
+		opts.Ranking = *ranking
 	}
 	if *minSets > 0 {
 		opts.MinItemsets = *minSets

@@ -55,6 +55,8 @@ func main() {
 		shards    = flag.Int("shards", 0, "partition the new store into N shards (0/1 = single store)")
 		partition = flag.String("shard-partition", shardstore.PartitionTime,
 			"sharding scheme with -shards: time (whole bins round-robin) or hash (by router)")
+		trace = flag.String("trace", "",
+			"replay a real flow trace (nfcapd-style NFTR binary or CSV dump) as the background instead of synthesizing one; anomalies still inject on top")
 		live = flag.Bool("live", false,
 			"replay the generated trace as an NDJSON record stream in clock order instead of writing a store (to stdout, or to -live-url)")
 		rate = flag.Float64("rate", 0,
@@ -76,6 +78,12 @@ a live rcad's /api/v1/stream/ingest with -live-url. -rate paces the
 replay in records per second (0 = flat out); the ground-truth table
 goes to stderr.
 
+With -trace FILE the background is not synthesized: the given flow dump
+(nfcapd-style NFTR binary or a CSV export with nfdump-style columns) is
+replayed under the scenario clock — the first record lands at -start and
+records past the generated span are dropped (and counted). Sampling and
+anomaly injection apply on top, so labeled anomalies ride real traffic.
+
 Scenarios (-scenario):
   quiet      background traffic only
   portscan   one scanner sweeping a victim's ports
@@ -92,6 +100,7 @@ keep their historical traces stable:
 Example:
   flowgen -out /tmp/flows -scenario portscan -bins 30 -sample 100
   flowgen -out /tmp/flows -scenario dns-amplification -bins 12
+  flowgen -out /tmp/flows -scenario ddos -trace /data/flows.csv
 
 Flags:
 `, strings.Join(gen.Names(), ", "))
@@ -103,14 +112,23 @@ Flags:
 		flag.Usage()
 		os.Exit(2)
 	}
+	var traceData []byte
+	if *trace != "" {
+		var err error
+		if traceData, err = os.ReadFile(*trace); err != nil {
+			fmt.Fprintln(os.Stderr, "flowgen:", err)
+			os.Exit(1)
+		}
+	}
 	var err error
 	if *live {
 		err = runLive(os.Stdout, *liveURL, *scenario, *bins, uint32(*binSec), *pops, *flowsBin,
-			*hosts, *servers, *seed, uint32(*sample), uint32(*start), *anomBin, *diurnal, *rate)
+			*hosts, *servers, *seed, uint32(*sample), uint32(*start), *anomBin, *diurnal, *rate,
+			traceData)
 	} else {
 		err = run(*out, *scenario, *bins, uint32(*binSec), *pops, *flowsBin, *hosts, *servers,
 			*seed, uint32(*sample), uint32(*start), *anomBin, *diurnal, uint16(*segFmt),
-			*shards, *partition)
+			*shards, *partition, traceData)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowgen:", err)
@@ -120,7 +138,7 @@ Flags:
 
 func run(out, scenarioName string, bins int, binSec uint32, pops, flowsBin, hosts, servers int,
 	seed uint64, sample, start uint32, anomBin int, diurnal bool, segFmt uint16,
-	shards int, partition string) error {
+	shards int, partition string, trace []byte) error {
 	var (
 		store nfstore.Engine
 		err   error
@@ -149,6 +167,7 @@ func run(out, scenarioName string, bins int, binSec uint32, pops, flowsBin, host
 		},
 		Bins: bins, StartTime: start, Seed: seed,
 		SampleRate: sample, Placements: placements,
+		Trace: trace,
 	}
 	truth, err := s.Generate(store)
 	if err != nil {
@@ -157,6 +176,9 @@ func run(out, scenarioName string, bins int, binSec uint32, pops, flowsBin, host
 
 	fmt.Printf("generated %s: span %s, %d background flows (stored)\n",
 		out, truth.Span, truth.BackgroundFlows)
+	if truth.TraceDropped > 0 {
+		fmt.Printf("replay dropped %d trace records past the generated span\n", truth.TraceDropped)
+	}
 	if len(truth.Entries) > 0 {
 		t := report.New("ground truth", "anno", "kind", "description", "interval",
 			"injected flows", "stored flows", "stored packets")
@@ -178,7 +200,7 @@ func run(out, scenarioName string, bins int, binSec uint32, pops, flowsBin, host
 // table goes to stderr so the stream stays clean.
 func runLive(w io.Writer, baseURL, scenarioName string, bins int, binSec uint32,
 	pops, flowsBin, hosts, servers int, seed uint64, sample, start uint32,
-	anomBin int, diurnal bool, rate float64) error {
+	anomBin int, diurnal bool, rate float64, trace []byte) error {
 	if anomBin < 0 {
 		anomBin = bins * 2 / 3
 	}
@@ -194,6 +216,7 @@ func runLive(w io.Writer, baseURL, scenarioName string, bins int, binSec uint32,
 		},
 		Bins: bins, StartTime: start, Seed: seed,
 		SampleRate: sample, Placements: placements,
+		Trace: trace,
 	}
 	truth, err := s.Generate(col)
 	if err != nil {

@@ -92,17 +92,18 @@ func (s *server) handleIncident(w http.ResponseWriter, r *http.Request) {
 // handleIncidentExtract submits the ONE extraction job of an incident
 // (its members merged into a single mining run) and answers 202 with
 // the queued job, exactly like POST /api/v1/jobs. The optional body
-// selects the miner: {"miner":"fpgrowth"}.
+// selects the miner and ranking: {"miner":"fpgrowth","ranking":"lift"}.
 func (s *server) handleIncidentExtract(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	var body struct {
-		Miner string `json:"miner"`
+		Miner   string `json:"miner"`
+		Ranking string `json:"ranking"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
 		return
 	}
-	opts, err := minerOption(body.Miner)
+	opts, err := extractOptions(body.Miner, body.Ranking)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

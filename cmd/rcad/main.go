@@ -11,7 +11,7 @@
 //
 // Versioned job API (the production surface — submit, poll, fetch):
 //
-//	POST   /api/v1/jobs             body: {"alarm_id":"1","miner":"fpgrowth"}
+//	POST   /api/v1/jobs             body: {"alarm_id":"1","miner":"fpgrowth","ranking":"lift"}
 //	                                  or: {"alarm_ids":["1","2"],"concurrency":4}
 //	                                  or: {"incident_id":"i1"}
 //	GET    /api/v1/jobs             list jobs (queued, running, retained)
@@ -49,8 +49,8 @@
 //	POST /api/detect                body: {"detector":"netreflex","from":UNIX,"to":UNIX}
 //	GET  /api/alarms?from=UNIX&to=UNIX
 //	GET  /api/alarms/{id}
-//	POST /api/alarms/{id}/extract   optional body: {"miner":"fpgrowth"}
-//	POST /api/extract-batch         body: {"alarm_ids":["1","2"],"concurrency":4,"miner":"fpgrowth"}
+//	POST /api/alarms/{id}/extract   optional body: {"miner":"fpgrowth","ranking":"lift"}
+//	POST /api/extract-batch         body: {"alarm_ids":["1","2"],"concurrency":4,"miner":"fpgrowth","ranking":"lift"}
 //	POST /api/alarms/{id}/verdict   body: {"validated":true,"note":"..."}
 //	GET  /api/flows?from=UNIX&to=UNIX&filter=EXPR&limit=N
 //
@@ -142,7 +142,7 @@ asynchronous jobs on a bounded worker pool; the legacy synchronous
 endpoints wrap the same job manager.
 
 Job API (versioned):
-  POST   /api/v1/jobs             {"alarm_id":"1","miner":"fpgrowth"}
+  POST   /api/v1/jobs             {"alarm_id":"1","miner":"fpgrowth","ranking":"lift"}
                                   or {"alarm_ids":["1","2"],"concurrency":4}
                                   or {"incident_id":"i1"}
                                   202 on admit, 429 + Retry-After when the
@@ -172,8 +172,8 @@ Legacy endpoints (synchronous wrappers over the job manager):
   POST /api/detect                {"detector":"netreflex","from":U,"to":U}
   GET  /api/alarms?from=U&to=U
   GET  /api/alarms/{id}
-  POST /api/alarms/{id}/extract   optional {"miner":"fpgrowth"}
-  POST /api/extract-batch         {"alarm_ids":["1","2"],"concurrency":4,"miner":"fpgrowth"}
+  POST /api/alarms/{id}/extract   optional {"miner":"fpgrowth","ranking":"lift"}
+  POST /api/extract-batch         {"alarm_ids":["1","2"],"concurrency":4,"miner":"fpgrowth","ranking":"lift"}
   POST /api/alarms/{id}/verdict   {"validated":true,"note":"..."}
   GET  /api/flows?from=U&to=U&filter=EXPR&limit=N
 
@@ -463,16 +463,26 @@ func (s *server) handleMiners(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// minerOption validates an optional miner name from a request body and
-// turns it into a call option. An unknown name is the caller's mistake.
-func minerOption(name string) ([]rootcause.Option, error) {
-	if name == "" {
-		return nil, nil
+// extractOptions validates the optional miner and ranking selections
+// from a request body and turns them into call options. Unknown names
+// are the caller's mistake.
+func extractOptions(minerName, ranking string) ([]rootcause.Option, error) {
+	var opts []rootcause.Option
+	if minerName != "" {
+		if !slices.Contains(rootcause.MinerNames(), minerName) {
+			return nil, fmt.Errorf("unknown miner %q (have %v)", minerName, rootcause.MinerNames())
+		}
+		opts = append(opts, rootcause.WithMiner(minerName))
 	}
-	if !slices.Contains(rootcause.MinerNames(), name) {
-		return nil, fmt.Errorf("unknown miner %q (have %v)", name, rootcause.MinerNames())
+	switch ranking {
+	case "":
+	case rootcause.RankingSupport, rootcause.RankingLift, rootcause.RankingWeighted:
+		opts = append(opts, rootcause.WithRanking(ranking))
+	default:
+		return nil, fmt.Errorf("unknown ranking %q (have %q, %q, %q)", ranking,
+			rootcause.RankingSupport, rootcause.RankingLift, rootcause.RankingWeighted)
 	}
-	return []rootcause.Option{rootcause.WithMiner(name)}, nil
+	return opts, nil
 }
 
 func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
@@ -577,15 +587,16 @@ func submitError(w http.ResponseWriter, err error) {
 func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	// The body is optional (legacy clients POST nothing); when present it
-	// may select the miner.
+	// may select the miner and ranking mode.
 	var body struct {
-		Miner string `json:"miner"`
+		Miner   string `json:"miner"`
+		Ranking string `json:"ranking"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
 		return
 	}
-	opts, err := minerOption(body.Miner)
+	opts, err := extractOptions(body.Miner, body.Ranking)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -705,6 +716,7 @@ func (s *server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 		AlarmIDs    []string `json:"alarm_ids"`
 		Concurrency int      `json:"concurrency"`
 		Miner       string   `json:"miner"`
+		Ranking     string   `json:"ranking"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
@@ -714,7 +726,7 @@ func (s *server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("alarm_ids is empty"))
 		return
 	}
-	opts, err := minerOption(body.Miner)
+	opts, err := extractOptions(body.Miner, body.Ranking)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -762,13 +774,14 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		AlarmIDs    []string `json:"alarm_ids"`
 		IncidentID  string   `json:"incident_id"`
 		Miner       string   `json:"miner"`
+		Ranking     string   `json:"ranking"`
 		Concurrency int      `json:"concurrency"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
 		return
 	}
-	opts, err := minerOption(body.Miner)
+	opts, err := extractOptions(body.Miner, body.Ranking)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -39,8 +39,8 @@ func init() {
 // length). The empty itemset is never reported. Cancelling ctx aborts
 // mining between dataset scan strides and returns ctx.Err().
 func Mine(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
-	if opts.MinSupport == 0 {
-		return nil, ErrZeroSupport
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	maxLen := opts.MaxLen
 	if maxLen <= 0 || maxLen > flow.NumFeatures {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/detector"
@@ -15,6 +16,7 @@ import (
 
 	// Built-in miners self-register into the miner registry.
 	_ "repro/internal/apriori"
+	_ "repro/internal/fda"
 	_ "repro/internal/fpgrowth"
 )
 
@@ -53,6 +55,26 @@ type ProgressFunc func(Progress)
 // samples: big enough that the callback is noise even on million-flow
 // candidate sets, small enough for live feedback.
 const progressStride = 8192
+
+// Ranking modes for Options.Ranking. All modes share the same pinned
+// tie-break (score desc, then longer itemsets first, then Set.Key asc),
+// so equal-score rows order identically whichever mode scored them.
+const (
+	// RankSupport scores each itemset by the larger of its flow and
+	// packet share of the candidate traffic — the paper's ranking and the
+	// default.
+	RankSupport = "support"
+	// RankLift scores by lift: observed share over the independence
+	// expectation of the itemset's items. Lift is inverse-support
+	// weighted by construction — a conjunction of rare items that still
+	// captures the alarm traffic outranks an equally-supported
+	// conjunction of popular ones.
+	RankLift = "lift"
+	// RankWeighted blends the two: share × log2(1+lift), i.e. the
+	// paper's support score damped or boosted by how surprising the
+	// combination is (the FDA scoring shape).
+	RankWeighted = "weighted"
+)
 
 // Options configures the extraction engine. Zero values of the numeric
 // fields inherit the corresponding defaults and explicitly invalid values
@@ -113,6 +135,21 @@ type Options struct {
 	BaselineRatio  float64
 	// MaxLen bounds itemset length (0 = up to all five features).
 	MaxLen int
+	// Ranking selects how the final itemset list is scored: RankSupport
+	// (the paper's share score, the default), RankLift or RankWeighted.
+	// Empty inherits RankSupport; unknown modes are rejected.
+	Ranking string
+	// MinerPrefilter enables per-item significance pre-filtering in miners
+	// that implement it (the fda miner); apriori and fpgrowth ignore it.
+	// Like the other boolean switches its zero value means "off" — start
+	// from DefaultOptions, which enables it.
+	MinerPrefilter bool
+	// Significance and MinLift are the fda pre-filter thresholds,
+	// forwarded into miner.Options; zero inherits the miner defaults
+	// (miner.DefaultSignificance, miner.DefaultMinLift), negative or NaN
+	// values are rejected.
+	Significance float64
+	MinLift      float64
 	// Progress, when non-nil, receives sampled progress observations
 	// (phase transitions, tuning rounds, streamed-flow counts). It is
 	// exempt from validation; nil disables reporting entirely.
@@ -136,71 +173,70 @@ func DefaultOptions() Options {
 		BaselineFilter:         true,
 		BaselineRatio:          3,
 		MaxLen:                 0,
+		Ranking:                RankSupport,
+		MinerPrefilter:         true,
 	}
 }
 
-// validate normalizes and checks options. The contract is uniform across
-// the numeric fields: a zero value inherits the default, any other
-// invalid value is an error — never a silent rewrite. (PacketCoverageMin
-// is exempt: 0 is the meaningful "flow-only ablation" setting.)
+// validate normalizes and checks options through the shared validators in
+// the miner package (miner.IntOption / miner.FloatOption). The contract
+// is uniform across the numeric fields: a zero value inherits the
+// default, any other invalid value is an error — never a silent rewrite.
+// (PacketCoverageMin is exempt: 0 is the meaningful "flow-only ablation"
+// setting; MaxLen is exempt: 0 is the meaningful "unbounded" setting.
+// Their checks are written in positive form so NaN — never ==, <, or >=
+// anything — fails them too instead of slipping through, the same rule
+// the shared float validator applies.)
 func (o *Options) validate() error {
-	if o.MinItemsets < 0 {
-		return fmt.Errorf("core: MinItemsets must be >= 0, got %d", o.MinItemsets)
+	in01 := func(v float64) bool { return v > 0 && v <= 1 }
+	geOne := func(v float64) bool { return v >= 1 }
+	positive := func(v float64) bool { return v > 0 }
+	if err := miner.IntOption("core", "MinItemsets", &o.MinItemsets, 2); err != nil {
+		return err
 	}
-	if o.MinItemsets == 0 {
-		o.MinItemsets = 2
-	}
-	if o.MaxItemsets < 0 {
-		return fmt.Errorf("core: MaxItemsets must be >= 0, got %d", o.MaxItemsets)
-	}
-	if o.MaxItemsets == 0 {
-		o.MaxItemsets = 10
+	if err := miner.IntOption("core", "MaxItemsets", &o.MaxItemsets, 10); err != nil {
+		return err
 	}
 	if o.MaxItemsets < o.MinItemsets {
 		return fmt.Errorf("core: MaxItemsets %d < MinItemsets %d", o.MaxItemsets, o.MinItemsets)
 	}
-	if o.InitialSupportFraction == 0 {
-		o.InitialSupportFraction = 0.2
-	}
-	// Range checks are written in positive form so NaN (never ==, <, or
-	// >= anything) fails them too instead of slipping through.
-	if !(o.InitialSupportFraction > 0 && o.InitialSupportFraction <= 1) {
-		return fmt.Errorf("core: InitialSupportFraction must be in (0,1], got %v", o.InitialSupportFraction)
+	if err := miner.FloatOption("core", "InitialSupportFraction", &o.InitialSupportFraction, 0.2, in01, "in (0,1]"); err != nil {
+		return err
 	}
 	if o.SupportFloor == 0 {
 		o.SupportFloor = 10
 	}
-	if o.MaxTuningRounds < 0 {
-		return fmt.Errorf("core: MaxTuningRounds must be >= 0, got %d", o.MaxTuningRounds)
+	if err := miner.IntOption("core", "MaxTuningRounds", &o.MaxTuningRounds, 12); err != nil {
+		return err
 	}
-	if o.MaxTuningRounds == 0 {
-		o.MaxTuningRounds = 12
-	}
-	if o.MinCandidates < 0 {
-		return fmt.Errorf("core: MinCandidates must be >= 0, got %d", o.MinCandidates)
-	}
-	if o.MinCandidates == 0 {
-		o.MinCandidates = 50
+	if err := miner.IntOption("core", "MinCandidates", &o.MinCandidates, 50); err != nil {
+		return err
 	}
 	if !(o.PacketCoverageMin >= 0 && o.PacketCoverageMin <= 1) {
 		return fmt.Errorf("core: PacketCoverageMin must be in [0,1], got %v", o.PacketCoverageMin)
 	}
-	if o.CoverageTarget == 0 {
-		o.CoverageTarget = 0.9
+	if err := miner.FloatOption("core", "CoverageTarget", &o.CoverageTarget, 0.9, in01, "in (0,1]"); err != nil {
+		return err
 	}
-	if !(o.CoverageTarget > 0 && o.CoverageTarget <= 1) {
-		return fmt.Errorf("core: CoverageTarget must be in (0,1], got %v", o.CoverageTarget)
-	}
-	if o.BaselineRatio == 0 {
-		o.BaselineRatio = 3
-	}
-	if !(o.BaselineRatio >= 1) {
-		return fmt.Errorf("core: BaselineRatio must be >= 1, got %v", o.BaselineRatio)
+	if err := miner.FloatOption("core", "BaselineRatio", &o.BaselineRatio, 3, geOne, ">= 1"); err != nil {
+		return err
 	}
 	if o.MaxLen < 0 {
 		return fmt.Errorf("core: MaxLen must be >= 0, got %d", o.MaxLen)
 	}
-	return nil
+	if o.Ranking == "" {
+		o.Ranking = RankSupport
+	}
+	switch o.Ranking {
+	case RankSupport, RankLift, RankWeighted:
+	default:
+		return fmt.Errorf("core: unknown ranking %q (have %q, %q, %q)",
+			o.Ranking, RankSupport, RankLift, RankWeighted)
+	}
+	if err := miner.FloatOption("core", "Significance", &o.Significance, miner.DefaultSignificance, positive, "> 0"); err != nil {
+		return err
+	}
+	return miner.FloatOption("core", "MinLift", &o.MinLift, miner.DefaultMinLift, positive, "> 0")
 }
 
 // ItemsetReport is one ranked row of an extraction result — one line of
@@ -214,8 +250,10 @@ type ItemsetReport struct {
 	// Dimensions lists the support dimension(s) in which the itemset was
 	// frequent ("flows", "packets" or both).
 	Dimensions []nfstore.Weight
-	// Score is the ranking key: the larger of the itemset's flow share
-	// and packet share of the candidate traffic.
+	// Score is the ranking key under the configured Options.Ranking mode:
+	// for RankSupport (the default) the larger of the itemset's flow
+	// share and packet share of the candidate traffic; for RankLift the
+	// itemset's lift; for RankWeighted share × log2(1+lift).
 	Score float64
 }
 
@@ -374,15 +412,11 @@ func (e *Extractor) Extract(ctx context.Context, alarm *detector.Alarm) (*Result
 		res.BaselineDropped = dropped
 	}
 
-	// Rank by share score, cut at MaxItemsets. share guards the zero
-	// totals a packet-less candidate set would otherwise turn into NaN
-	// scores that poison the sort.
+	// Rank under the configured mode, cut at MaxItemsets. The tie-break
+	// below is pinned across ranking modes (determinism tests depend on
+	// it): score desc, longer itemsets first, then canonical key.
 	e.report(Progress{Phase: PhaseRank, Itemsets: len(list)})
-	for _, r := range list {
-		fShare := share(r.FlowSupport, res.CandidateFlows)
-		pShare := share(r.PacketSupport, res.CandidatePackets)
-		r.Score = max(fShare, pShare)
-	}
+	e.score(ds, res, list)
 	sort.Slice(list, func(i, j int) bool {
 		if list[i].Score != list[j].Score {
 			return list[i].Score > list[j].Score
@@ -457,6 +491,77 @@ func share(part, total uint64) float64 {
 	return float64(part) / float64(total)
 }
 
+// score fills each report's Score under the configured ranking mode. The
+// support score needs nothing beyond the supports already on the rows;
+// the lift modes additionally need the candidate share of every single
+// item appearing in the reported sets, computed in one batch SupportAll
+// pass over the dataset (share guards all the zero-total cases, so no
+// mode can produce NaN and poison the sort).
+func (e *Extractor) score(ds *itemset.Dataset, res *Result, list []*ItemsetReport) {
+	for _, r := range list {
+		fShare := share(r.FlowSupport, res.CandidateFlows)
+		pShare := share(r.PacketSupport, res.CandidatePackets)
+		r.Score = max(fShare, pShare)
+	}
+	if e.opts.Ranking == RankSupport {
+		return
+	}
+
+	var items []itemset.Item
+	seen := make(map[itemset.Item]bool)
+	for _, r := range list {
+		for _, it := range r.Items {
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, it)
+			}
+		}
+	}
+	sets := make([]itemset.Set, len(items))
+	for i, it := range items {
+		sets[i] = itemset.Set{it}
+	}
+	fShares := make(map[itemset.Item]float64, len(items))
+	pShares := make(map[itemset.Item]float64, len(items))
+	for i, sup := range ds.SupportAll(sets, 0) {
+		fShares[items[i]] = share(sup.Flows, res.CandidateFlows)
+		pShares[items[i]] = share(sup.Packets, res.CandidatePackets)
+	}
+
+	for _, r := range list {
+		lift := max(
+			liftOf(share(r.FlowSupport, res.CandidateFlows), r.Items, fShares),
+			liftOf(share(r.PacketSupport, res.CandidatePackets), r.Items, pShares),
+		)
+		switch e.opts.Ranking {
+		case RankLift:
+			r.Score = lift
+		case RankWeighted:
+			r.Score *= math.Log2(1 + lift)
+		}
+	}
+}
+
+// liftOf returns observed / expected share, where the expectation assumes
+// the itemset's items occur independently (the product of their
+// single-item shares). An item share of zero — only possible when the
+// whole dimension carries no weight — makes the expectation meaningless,
+// so the lift degrades to 0 and the other dimension decides.
+func liftOf(observed float64, s itemset.Set, itemShare map[itemset.Item]float64) float64 {
+	if observed == 0 {
+		return 0
+	}
+	expected := 1.0
+	for _, it := range s {
+		sh := itemShare[it]
+		if sh == 0 {
+			return 0
+		}
+		expected *= sh
+	}
+	return observed / expected
+}
+
 // mineTuned runs the self-tuning mining loop in one dimension: start at
 // InitialSupportFraction of the total, halve until the maximal-itemset
 // count reaches MinItemsets (or the floor / round bound stops us).
@@ -483,9 +588,12 @@ func (e *Extractor) mineTuned(ctx context.Context, ds *itemset.Dataset, byPacket
 		e.report(Progress{Phase: phase, TuningRound: round + 1, Itemsets: len(result)})
 		var err error
 		result, err = e.m.MineMaximal(ctx, ds, miner.Options{
-			MinSupport: minSup,
-			ByPackets:  byPackets,
-			MaxLen:     e.opts.MaxLen,
+			MinSupport:   minSup,
+			ByPackets:    byPackets,
+			MaxLen:       e.opts.MaxLen,
+			Prefilter:    e.opts.MinerPrefilter,
+			Significance: e.opts.Significance,
+			MinLift:      e.opts.MinLift,
 		})
 		if err != nil {
 			return nil, tuning, err

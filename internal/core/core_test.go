@@ -424,3 +424,58 @@ func TestDeterministicExtraction(t *testing.T) {
 		}
 	}
 }
+
+// TestRankingModesDeterministic pins the ranking determinism contract:
+// for every ranking mode, two extractions over the same store return the
+// identical ranked list, and the list obeys the pinned tie-break (score
+// desc, longer itemsets first, then canonical key) — the comparator must
+// not change across modes.
+func TestRankingModesDeterministic(t *testing.T) {
+	s := gen.Scenario{
+		Background: gen.Background{NumPoPs: 2, FlowsPerBin: 300},
+		Bins:       4, StartTime: coreBase, Seed: 19,
+		Placements: []gen.Placement{
+			{Anomaly: gen.PortScan{Scanner: 111, Victim: 222, SrcPort: 1, Ports: 500, Router: 0}, Bin: 2},
+			{Anomaly: gen.SYNFlood{Victim: 222, DstPort: 80, Sources: 800, FlowsPerSource: 3,
+				SourceNet: flow.MustParsePrefix("172.16.0.0/12"), Router: 1}, Bin: 2},
+		},
+	}
+	store, truth := buildScenario(t, s)
+	alarm := &detector.Alarm{Interval: truth.Entries[0].Interval}
+	for _, mode := range []string{RankSupport, RankLift, RankWeighted} {
+		opts := DefaultOptions()
+		opts.Ranking = mode
+		ex := MustNew(store, opts)
+		r1, err := ex.Extract(t.Context(), alarm)
+		if err != nil {
+			t.Fatalf("ranking %q: %v", mode, err)
+		}
+		r2, err := ex.Extract(t.Context(), alarm)
+		if err != nil {
+			t.Fatalf("ranking %q: %v", mode, err)
+		}
+		if len(r1.Itemsets) != len(r2.Itemsets) {
+			t.Fatalf("ranking %q: non-deterministic itemset count", mode)
+		}
+		for i := range r1.Itemsets {
+			a, b := r1.Itemsets[i], r2.Itemsets[i]
+			if !a.Items.Equal(b.Items) || a.Score != b.Score {
+				t.Fatalf("ranking %q: rank %d differs between runs", mode, i+1)
+			}
+			if math.IsNaN(a.Score) || math.IsInf(a.Score, 0) || a.Score < 0 {
+				t.Errorf("ranking %q: rank %d score %v not a finite non-negative number", mode, i+1, a.Score)
+			}
+			if i == 0 {
+				continue
+			}
+			prev := r1.Itemsets[i-1]
+			switch {
+			case prev.Score > a.Score:
+			case prev.Score == a.Score && len(prev.Items) > len(a.Items):
+			case prev.Score == a.Score && len(prev.Items) == len(a.Items) && prev.Items.Key() < a.Items.Key():
+			default:
+				t.Errorf("ranking %q: ranks %d-%d violate the pinned tie-break", mode, i, i+1)
+			}
+		}
+	}
+}

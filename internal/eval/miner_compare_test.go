@@ -74,3 +74,82 @@ func TestRunMinerComparisonUnknownMiner(t *testing.T) {
 		t.Fatal("unknown miner must fail the comparison")
 	}
 }
+
+// TestMinerComparisonCatalog runs the full scenario catalog — including
+// the replayed-trace entries — through every registered miner and holds
+// the three-way comparison to the acceptance floors: on scenarios that
+// are expected to extract, mean itemset precision >= 0.8, mean anomaly
+// recall >= 0.9 and mean true-cause rank <= 3 per miner, and fda's
+// pre-filtering never pushes the true cause below fpgrowth's rank.
+func TestMinerComparisonCatalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog comparison is slow")
+	}
+	specs := CatalogSpecs()
+	traces := 0
+	for _, s := range specs {
+		if s.Name == "trace-ddos" || s.Name == "trace-portscan" {
+			traces++
+		}
+	}
+	if traces < 2 {
+		t.Fatalf("catalog has %d replayed-trace scenarios, want >= 2", traces)
+	}
+	runs, err := RunMinerComparison("catalog", specs, SuiteConfig{
+		SeedBase: 911, SampleRate: 1, WorkDir: t.TempDir(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMiner := map[string]*SuiteResult{}
+	for _, r := range runs {
+		byMiner[r.Miner] = r.Result
+	}
+	for _, m := range []string{"apriori", "fpgrowth", "fda"} {
+		res := byMiner[m]
+		if res == nil {
+			t.Fatalf("comparison missing miner %s", m)
+		}
+		var prec, rec, rank float64
+		n := 0
+		for _, e := range res.Evals {
+			if e.ExpectFail || e.Truth == nil {
+				continue
+			}
+			if e.Truth.Rank == 0 {
+				t.Errorf("%s/%s: true cause never attributed", m, e.Name)
+				continue
+			}
+			prec += e.Truth.Precision
+			rec += e.Truth.Recall
+			rank += float64(e.Truth.Rank)
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("%s: no scoreable scenarios", m)
+		}
+		prec, rec, rank = prec/float64(n), rec/float64(n), rank/float64(n)
+		t.Logf("%s: %d scenarios, mean precision %.3f recall %.3f rank %.2f", m, n, prec, rec, rank)
+		if prec < 0.8 {
+			t.Errorf("%s: mean precision %.3f < 0.8", m, prec)
+		}
+		if rec < 0.9 {
+			t.Errorf("%s: mean recall %.3f < 0.9", m, rec)
+		}
+		if rank > 3 {
+			t.Errorf("%s: mean true-cause rank %.2f > 3", m, rank)
+		}
+	}
+	// fda's significance pre-filter may only drop itemsets; it must never
+	// degrade the true-cause rank relative to the exhaustive miners.
+	fp, fda := byMiner["fpgrowth"], byMiner["fda"]
+	for i := range fp.Evals {
+		f, d := fp.Evals[i], fda.Evals[i]
+		if f.Truth == nil || d.Truth == nil || f.Truth.Rank == 0 {
+			continue
+		}
+		if d.Truth.Rank == 0 || d.Truth.Rank > f.Truth.Rank {
+			t.Errorf("%s: fda rank %d degrades fpgrowth rank %d", f.Name, d.Truth.Rank, f.Truth.Rank)
+		}
+	}
+}

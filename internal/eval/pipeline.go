@@ -74,6 +74,10 @@ type PipelineConfig struct {
 	// runs the matrix through the remote-peer client — the full rcad
 	// cluster read path. Requires Shards >= 2.
 	HTTPPeers bool
+	// Ranking selects the itemset scoring mode for every extraction
+	// (rootcause.RankingSupport / RankingLift / RankingWeighted; "" =
+	// the engine default, support).
+	Ranking string
 }
 
 // ComboScore is the outcome of one scenario × detector × miner cell.
@@ -286,7 +290,7 @@ func runScenarioMatrix(def gen.Def, cfg PipelineConfig, workDir string, detector
 				Scenario: def.Name, Kind: string(kind), ExpectFail: def.ExpectFail,
 				Detector: det, AlarmSource: source, DetectorError: detErr, Miner: m,
 			}
-			res, wall, err := extractCell(ctx, sys, alarmID, m, cfg.UseJobs)
+			res, wall, err := extractCell(ctx, sys, alarmID, m, cfg.Ranking, cfg.UseJobs)
 			cell.WallMS = wall
 			if err != nil {
 				cell.Error = err.Error()
@@ -408,14 +412,18 @@ func synthesizedAlarm(truth *gen.Truth, anomalyIv flow.Interval, kind detector.K
 // extractCell runs one extraction — synchronously or through the job
 // manager — and returns the result (nil when the interval held nothing to
 // mine) and the wall-clock in milliseconds.
-func extractCell(ctx context.Context, sys *rootcause.System, alarmID, minerName string, useJobs bool) (*rootcause.Result, float64, error) {
+func extractCell(ctx context.Context, sys *rootcause.System, alarmID, minerName, ranking string, useJobs bool) (*rootcause.Result, float64, error) {
 	t0 := time.Now()
+	opts := []rootcause.Option{rootcause.WithMiner(minerName)}
+	if ranking != "" {
+		opts = append(opts, rootcause.WithRanking(ranking))
+	}
 	var res *rootcause.Result
 	var err error
 	if useJobs {
 		var jobID string
 		jobID, err = sys.Submit(rootcause.JobRequest{AlarmID: alarmID},
-			rootcause.WithMiner(minerName), rootcause.WithTransientJob())
+			append(opts, rootcause.WithTransientJob())...)
 		if err == nil {
 			var jr *rootcause.JobResult
 			jr, err = sys.Wait(ctx, jobID)
@@ -424,7 +432,7 @@ func extractCell(ctx context.Context, sys *rootcause.System, alarmID, minerName 
 			}
 		}
 	} else {
-		res, err = sys.Extract(ctx, alarmID, rootcause.WithMiner(minerName))
+		res, err = sys.Extract(ctx, alarmID, opts...)
 	}
 	wall := float64(time.Since(t0).Microseconds()) / 1000
 	if errors.Is(err, core.ErrNoCandidates) {

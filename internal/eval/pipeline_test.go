@@ -105,38 +105,43 @@ func TestMatrixJobPathParity(t *testing.T) {
 }
 
 // TestMatrixDeterminism pins the determinism contract: two runs with the
-// same config produce identical reports (modulo wall-clock).
+// same config produce identical reports (modulo wall-clock), for every
+// ranking mode — the ranking score must not introduce map-order or
+// float-tie nondeterminism.
 func TestMatrixDeterminism(t *testing.T) {
-	cfg := PipelineConfig{
-		Scenarios: []string{"icmp-flood", "spam-campaign"},
-		Detectors: []string{SynthesizedSource},
-		Miners:    nil, // every registered miner
-		Seed:      3,
-	}
-	run := func(dir string) string {
-		c := cfg
-		c.WorkDir = dir
-		rep, err := RunMatrix(c)
-		if err != nil {
-			t.Fatal(err)
+	for _, ranking := range []string{"", "lift", "weighted"} {
+		cfg := PipelineConfig{
+			Scenarios: []string{"icmp-flood", "spam-campaign"},
+			Detectors: []string{SynthesizedSource},
+			Miners:    nil, // every registered miner
+			Seed:      3,
+			Ranking:   ranking,
 		}
-		rep.WallMS = 0
-		rep.Totals.WallMS = 0
-		for i := range rep.PerMiner {
-			rep.PerMiner[i].WallMS = 0
+		run := func(dir string) string {
+			c := cfg
+			c.WorkDir = dir
+			rep, err := RunMatrix(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep.WallMS = 0
+			rep.Totals.WallMS = 0
+			for i := range rep.PerMiner {
+				rep.PerMiner[i].WallMS = 0
+			}
+			for i := range rep.Combos {
+				rep.Combos[i].WallMS = 0
+			}
+			buf, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(buf)
 		}
-		for i := range rep.Combos {
-			rep.Combos[i].WallMS = 0
+		a, b := run(t.TempDir()), run(t.TempDir())
+		if a != b {
+			t.Errorf("ranking %q: matrix runs differ:\n%s\n%s", ranking, a, b)
 		}
-		buf, err := json.Marshal(rep)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return string(buf)
-	}
-	a, b := run(t.TempDir()), run(t.TempDir())
-	if a != b {
-		t.Errorf("matrix runs differ:\n%s\n%s", a, b)
 	}
 }
 

@@ -31,6 +31,28 @@ type ScenarioSpec struct {
 	// FalsePositive marks a detector false positive: an alarm on a quiet
 	// bin with no injected anomaly at all.
 	FalsePositive bool
+	// Catalog, when non-empty, names a gen catalog entry: the scenario is
+	// instantiated from the Def's own geometry, background and (for the
+	// trace-* entries) replayed flow trace instead of Placements, so the
+	// suite runs the exact scenarios operators get from flowgen.
+	Catalog string
+}
+
+// CatalogSpecs returns one spec per registered gen catalog entry — the
+// full scenario catalog, including the replayed-trace entries, as a
+// suite. Quiet defs (ExpectFail without placements) become detector
+// false positives.
+func CatalogSpecs() []ScenarioSpec {
+	var specs []ScenarioSpec
+	for _, d := range gen.Catalog() {
+		specs = append(specs, ScenarioSpec{
+			Name:          d.Name,
+			Catalog:       d.Name,
+			ExpectFail:    d.ExpectFail,
+			FalsePositive: d.ExpectFail && d.Place == nil,
+		})
+	}
+	return specs
 }
 
 // SuiteConfig parameterizes a suite run.
@@ -71,6 +93,10 @@ type ScenarioEval struct {
 	Score       AlarmScore
 	// ItemsetCount is the number of reported itemsets.
 	ItemsetCount int
+	// Truth scores the ranked result against the generator's ground
+	// truth (itemset precision, anomaly recall, true-cause rank); nil
+	// for false-positive scenarios, which have no injected anomalies.
+	Truth *TruthScore
 }
 
 // SuiteResult aggregates a suite run.
@@ -379,17 +405,33 @@ func runScenario(i int, spec ScenarioSpec, cfg SuiteConfig, workDir string, bins
 	}
 	defer store.Close()
 
-	placements := make([]gen.Placement, len(spec.Placements))
-	for j, p := range spec.Placements {
-		placements[j] = gen.Placement{Anomaly: p.Anomaly, Bin: anomalyBin}
-	}
-	scenario := gen.Scenario{
-		Background: background,
-		Bins:       bins,
-		StartTime:  1_300_000_200,
-		Seed:       cfg.SeedBase + uint64(i)*7919,
-		SampleRate: cfg.SampleRate,
-		Placements: placements,
+	seed := cfg.SeedBase + uint64(i)*7919
+	var scenario *gen.Scenario
+	if spec.Catalog != "" {
+		def, ok := gen.Lookup(spec.Catalog)
+		if !ok {
+			return nil, fmt.Errorf("eval: unknown catalog scenario %q", spec.Catalog)
+		}
+		scenario = def.Scenario(seed)
+		scenario.SampleRate = cfg.SampleRate
+		bins = scenario.Bins
+		anomalyBin = bins / 2
+		if len(scenario.Placements) > 0 {
+			anomalyBin = scenario.Placements[0].Bin
+		}
+	} else {
+		placements := make([]gen.Placement, len(spec.Placements))
+		for j, p := range spec.Placements {
+			placements[j] = gen.Placement{Anomaly: p.Anomaly, Bin: anomalyBin}
+		}
+		scenario = &gen.Scenario{
+			Background: background,
+			Bins:       bins,
+			StartTime:  1_300_000_200,
+			Seed:       seed,
+			SampleRate: cfg.SampleRate,
+			Placements: placements,
+		}
 	}
 	truth, err := scenario.Generate(store)
 	if err != nil {
@@ -400,6 +442,9 @@ func runScenario(i int, spec ScenarioSpec, cfg SuiteConfig, workDir string, bins
 	alarmBin := flow.Interval{
 		Start: truth.Span.Start + uint32(anomalyBin)*store.BinSeconds(),
 		End:   truth.Span.Start + uint32(anomalyBin+1)*store.BinSeconds(),
+	}
+	if len(truth.Entries) > 0 {
+		alarmBin = truth.Entries[0].Interval
 	}
 	var alarm detector.Alarm
 	source := "synthesized"
@@ -435,10 +480,18 @@ func runScenario(i int, spec ScenarioSpec, cfg SuiteConfig, workDir string, bins
 	switch {
 	case err == core.ErrNoCandidates:
 		score = &AlarmScore{}
+		res = nil
 	case err != nil:
 		return nil, err
 	default:
 		score, err = ScoreResult(store, &alarm, res, DefaultScoreOptions())
+		if err != nil {
+			return nil, err
+		}
+	}
+	var truthScore *TruthScore
+	if len(truth.Entries) > 0 {
+		truthScore, err = ScoreTruth(store, alarm.Interval, res, truth, DefaultScoreOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -448,13 +501,13 @@ func runScenario(i int, spec ScenarioSpec, cfg SuiteConfig, workDir string, bins
 		itemsets = len(res.Itemsets)
 	}
 	kind := detector.KindUnknown
-	if len(spec.Placements) > 0 {
-		kind = spec.Placements[0].Anomaly.Kind()
+	if len(scenario.Placements) > 0 {
+		kind = scenario.Placements[0].Anomaly.Kind()
 	}
 	return &ScenarioEval{
 		Index: i, Name: spec.Name, Kind: kind,
 		ExpectFail: spec.ExpectFail, AlarmSource: source,
-		Score: *score, ItemsetCount: itemsets,
+		Score: *score, ItemsetCount: itemsets, Truth: truthScore,
 	}, nil
 }
 

@@ -1,0 +1,296 @@
+// Package fda implements an FDA-style frequent-itemset miner, after
+// Facebook's "Fast Dimensional Analysis": per-item statistical
+// pre-filtering before any itemset enumeration, FP-growth with the
+// top-level conditional trees mined in parallel, and a lift cut on the
+// mined itemsets. Registered as "fda".
+//
+// With Options.Prefilter unset both the pre-filter and the lift cut are
+// off and the output is element-for-element equal to apriori/fpgrowth on
+// the same input (the cross-miner conformance battery pins this). With
+// Prefilter set the output is a subset of that result with identical
+// supports and the same canonical order: items whose weight is
+// statistically indistinguishable from a uniform spread over their
+// feature are dropped before the tree is built, and mined itemsets whose
+// lift falls below Options.MinLift are dropped after.
+package fda
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/flow"
+	"repro/internal/itemset"
+	"repro/internal/miner"
+)
+
+// Options is the shared miner configuration (see miner.Options); the
+// Prefilter, Significance and MinLift fields drive this miner.
+type Options = miner.Options
+
+// Miner is the registry adapter: package-level Mine/MineMaximal behind
+// the miner.Miner interface. Registered as "fda".
+type Miner struct{}
+
+// Mine implements miner.Miner.
+func (Miner) Mine(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
+	return Mine(ctx, ds, opts)
+}
+
+// MineMaximal implements miner.Miner.
+func (Miner) MineMaximal(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
+	return MineMaximal(ctx, ds, opts)
+}
+
+func init() {
+	miner.MustRegister("fda", func() miner.Miner { return Miner{} })
+}
+
+// maxWorkers bounds the top-level mining fan-out; alarm datasets carry at
+// most a few hundred header items, so more workers only add scheduling
+// overhead.
+const maxWorkers = 8
+
+// Mine returns the frequent itemsets of ds with support >= opts.MinSupport
+// in the chosen dimension, canonically sorted. Without opts.Prefilter the
+// result equals fpgrowth.Mine; with it, the significance pre-filter and
+// the lift cut reduce the result to a subset with equal supports.
+// Cancelling ctx aborts mining promptly with ctx.Err().
+func Mine(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	maxLen := opts.MaxLen
+	if maxLen <= 0 || maxLen > flow.NumFeatures {
+		maxLen = flow.NumFeatures
+	}
+
+	// Pass 1: global item supports in the mining dimension.
+	support := make(map[itemset.Item]uint64)
+	for i := 0; i < ds.Len(); i++ {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		tx := ds.Tx(i)
+		w := tx.Weight(opts.ByPackets)
+		for _, it := range tx.Items {
+			support[it] += w
+		}
+	}
+	total := ds.Total(opts.ByPackets)
+
+	// Pre-filter, then the global item order over the surviving frequent
+	// items: descending support, ties by item value — the same canonical
+	// order fpgrowth uses, so the filtered run mines a sub-tree of the
+	// unfiltered one.
+	kept := support
+	if opts.Prefilter {
+		kept = significantItems(support, total, opts.Significance)
+	}
+	order := make(map[itemset.Item]int, len(kept))
+	{
+		items := make([]itemset.Item, 0, len(kept))
+		for it := range kept {
+			if support[it] >= opts.MinSupport {
+				items = append(items, it)
+			}
+		}
+		sort.Slice(items, func(i, j int) bool {
+			if support[items[i]] != support[items[j]] {
+				return support[items[i]] > support[items[j]]
+			}
+			return items[i] < items[j]
+		})
+		for rank, it := range items {
+			order[it] = rank
+		}
+	}
+
+	// Pass 2: build the FP-tree over the surviving items.
+	t := newTree()
+	var path []itemset.Item
+	for i := 0; i < ds.Len(); i++ {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		tx := ds.Tx(i)
+		path = path[:0]
+		for _, it := range tx.Items {
+			if _, ok := order[it]; ok {
+				path = append(path, it)
+			}
+		}
+		if len(path) == 0 {
+			continue
+		}
+		sort.Slice(path, func(a, b int) bool { return order[path[a]] < order[path[b]] })
+		t.insert(path, tx.Weight(opts.ByPackets))
+	}
+
+	result, err := mineParallel(ctx, t, opts.MinSupport, maxLen)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Prefilter {
+		result = liftCut(result, support, total, opts.MinLift)
+	}
+	itemset.SortFrequent(result)
+	return result, nil
+}
+
+// MineMaximal mines (pre-filter and lift cut included) and reduces to
+// maximal itemsets.
+func MineMaximal(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
+	all, err := Mine(ctx, ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	return itemset.MaximalOnly(all), nil
+}
+
+// significantItems applies the per-item pre-filter. The null model
+// spreads a feature's weight uniformly over its k observed values (share
+// p0 = 1/k); an item survives when its observed weight w clears the
+// one-sided z-test against the Binomial(total, p0) null:
+//
+//	z = (w − total·p0) / sqrt(total·p0·(1−p0)) >= sig
+//
+// Features with a single observed value carry nothing to test and always
+// survive, as does everything when the dataset has no weight at all.
+func significantItems(support map[itemset.Item]uint64, total uint64, sig float64) map[itemset.Item]uint64 {
+	if total == 0 {
+		return support
+	}
+	valuesPerFeature := make(map[flow.Feature]int)
+	for it := range support {
+		valuesPerFeature[it.Feature()]++
+	}
+	kept := make(map[itemset.Item]uint64, len(support))
+	for it, w := range support {
+		k := valuesPerFeature[it.Feature()]
+		if k <= 1 {
+			kept[it] = w
+			continue
+		}
+		p0 := 1 / float64(k)
+		mean := float64(total) * p0
+		sd := math.Sqrt(float64(total) * p0 * (1 - p0))
+		if (float64(w)-mean)/sd >= sig {
+			kept[it] = w
+		}
+	}
+	return kept
+}
+
+// liftCut drops mined itemsets whose lift — observed support share over
+// the independence expectation of their items' shares — falls below
+// minLift. A single item's lift is exactly 1 (its observation is its own
+// expectation), so level-1 sets survive any minLift <= 1.
+func liftCut(sets []itemset.Frequent, support map[itemset.Item]uint64, total uint64, minLift float64) []itemset.Frequent {
+	if total == 0 {
+		return sets
+	}
+	out := sets[:0]
+	for _, fr := range sets {
+		obs := float64(fr.Support) / float64(total)
+		expect := 1.0
+		for _, it := range fr.Items {
+			// Item support >= set support >= MinSupport >= 1, so the
+			// expectation is always positive.
+			expect *= float64(support[it]) / float64(total)
+		}
+		if obs/expect >= minLift {
+			out = append(out, fr)
+		}
+	}
+	return out
+}
+
+// mineParallel fans the top level of the FP-growth recursion out over a
+// bounded worker pool: each frequent header item is emitted and its
+// conditional tree mined independently (the tree is read-only by then),
+// and the per-item slices concatenate in header order before the final
+// canonical sort makes the merge order irrelevant.
+func mineParallel(ctx context.Context, t *tree, minSupport uint64, maxLen int) ([]itemset.Frequent, error) {
+	items := make([]itemset.Item, 0, len(t.heads))
+	for it := range t.heads {
+		if t.counts[it] >= minSupport {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	if len(items) == 0 {
+		return nil, nil
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > maxWorkers {
+		workers = maxWorkers
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	parts := make([][]itemset.Frequent, len(items))
+	errs := make([]error, workers)
+	var next int64 = -1
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		next++
+		if next >= int64(len(items)) {
+			return -1
+		}
+		return int(next)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idx := take()
+				if idx < 0 {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				it := items[idx]
+				set := itemset.Set{it}
+				out := []itemset.Frequent{{Items: set, Support: t.counts[it]}}
+				if maxLen > 1 {
+					cond := conditionalTree(t, it)
+					if len(cond.heads) > 0 {
+						if err := mineTree(ctx, cond, set, minSupport, maxLen, &out); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}
+				parts[idx] = out
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var result []itemset.Frequent
+	for _, part := range parts {
+		result = append(result, part...)
+	}
+	return result, nil
+}

@@ -77,8 +77,8 @@ func (t *tree) insert(items []itemset.Item, weight uint64) {
 // apriori.Mine on the same input. Cancelling ctx aborts mining between
 // conditional-tree expansions and returns ctx.Err().
 func Mine(ctx context.Context, ds *itemset.Dataset, opts Options) ([]itemset.Frequent, error) {
-	if opts.MinSupport == 0 {
-		return nil, miner.ErrZeroSupport
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	maxLen := opts.MaxLen
 	if maxLen <= 0 || maxLen > flow.NumFeatures {

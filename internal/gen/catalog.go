@@ -47,6 +47,13 @@ type Def struct {
 	// incident layer should correlate them into a single incident, and
 	// incident-mode evaluation scores their truth entries jointly.
 	Composite bool
+	// Trace, when set, replaces the synthetic background with a replayed
+	// flow trace: the hook returns raw trace bytes in a ReadTrace format
+	// (NFTR binary or CSV), deterministic per rng, fed into
+	// Scenario.Trace. Anomalies still inject on top of the replayed
+	// traffic, so the replayed-trace scenarios exercise the full trace
+	// reader inside the eval matrix.
+	Trace func(rng *stats.RNG) []byte
 }
 
 // catalogStart is the fixed trace start of catalog scenarios, aligned to
@@ -69,7 +76,7 @@ func (d Def) Scenario(seed uint64) *Scenario {
 	if d.Background != nil {
 		bg = *d.Background
 	}
-	return &Scenario{
+	s := &Scenario{
 		Background: bg,
 		Bins:       bins,
 		StartTime:  catalogStart,
@@ -77,6 +84,10 @@ func (d Def) Scenario(seed uint64) *Scenario {
 		Placements: d.Placements(seed, bin),
 		Composite:  d.Composite,
 	}
+	if d.Trace != nil {
+		s.Trace = d.Trace(stats.NewRNG(seed).Fork(0x7ace))
+	}
+	return s
 }
 
 // Placements builds the Def's anomaly placements for a seed, placed in
@@ -345,6 +356,37 @@ func init() {
 					FlowsPerSource: 4, SourceNet: catBotNet, Router: 2,
 				},
 			}
+		},
+	})
+	// Replayed-trace scenarios: the background is a heavy-tailed trace
+	// dump fed through the trace reader (one per supported format)
+	// instead of live synthesis, so the eval matrix exercises the full
+	// replay path — parse, clock rebase, injection on top. 12 bins of
+	// 300 s at 300 flows/bin/PoP match the synthetic catalog volume.
+	mustRegister(Def{
+		Name:    "trace-ddos",
+		Summary: "replayed CSV flow trace as background with a distributed SYN flood injected on top",
+		Trace: func(rng *stats.RNG) []byte {
+			return EncodeTraceCSV(SynthTraceRecords(rng, 12, 300, 300))
+		},
+		Place: func(rng *stats.RNG) []Anomaly {
+			return []Anomaly{SYNFlood{
+				Victim: catVictim, DstPort: 80, Sources: 4000 + rng.Intn(2000),
+				FlowsPerSource: 4, SourceNet: catBotNet, Router: 2,
+			}}
+		},
+	})
+	mustRegister(Def{
+		Name:    "trace-portscan",
+		Summary: "replayed nfcapd-style binary flow trace as background with a port scan injected on top",
+		Trace: func(rng *stats.RNG) []byte {
+			return EncodeTraceBinary(SynthTraceRecords(rng, 12, 300, 300))
+		},
+		Place: func(rng *stats.RNG) []Anomaly {
+			return []Anomaly{PortScan{
+				Scanner: catScanner, Victim: catVictim, SrcPort: 55548,
+				Ports: 8000 + rng.Intn(4000), FlowsPerPort: 3, Router: 1,
+			}}
 		},
 	})
 }

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/detector"
@@ -36,6 +37,16 @@ type Scenario struct {
 	// Composite marks the placements as phases of one event (see
 	// Def.Composite); carried into the Truth for joint scoring.
 	Composite bool
+	// Trace, when non-empty, replaces the synthetic background with a
+	// replayed flow trace in either ReadTrace format (NFTR binary or
+	// CSV). The records are rebased under the scenario clock: the first
+	// record lands at the aligned StartTime and every later record shifts
+	// by the same offset; rebased records falling past the generated span
+	// are dropped and counted in Truth.TraceDropped. Sampling, background
+	// suppressors and anomaly placements apply exactly as over a
+	// synthetic background, so anomalies inject on top of the replayed
+	// traffic.
+	Trace []byte
 }
 
 // TruthEntry records the ground truth of one placed anomaly.
@@ -66,6 +77,9 @@ type Truth struct {
 	Span flow.Interval
 	// BackgroundFlows counts stored background records.
 	BackgroundFlows uint64
+	// TraceDropped counts replayed trace records that fell outside the
+	// generated span after rebasing (trace longer than the scenario).
+	TraceDropped uint64
 	// Composite marks the entries as phases of one event: incident-mode
 	// evaluation scores them jointly (one extraction must recover every
 	// entry) instead of entry-by-entry.
@@ -160,26 +174,51 @@ func (s *Scenario) Generate(store nfstore.Engine) (*Truth, error) {
 		}
 	}
 
-	bg := newBackgroundGen(s.Background)
-	for b := 0; b < s.Bins; b++ {
-		iv := flow.Interval{Start: start + uint32(b)*binSec, End: start + uint32(b+1)*binSec}
-		binEmit := emit
-		if sups := suppressorsIn[b]; len(sups) > 0 {
-			binEmit = func(r *flow.Record) error {
-				for _, sup := range sups {
-					if sup.s.SuppressBackground(r) {
-						sup.entry.SuppressedFlows++
-						return nil
-					}
-				}
-				return emit(r)
+	// suppressedEmit routes one background record through the bin's
+	// suppressors (if any) before the store-side emit.
+	suppressedEmit := func(bin int, r *flow.Record) error {
+		for _, sup := range suppressorsIn[bin] {
+			if sup.s.SuppressBackground(r) {
+				sup.entry.SuppressedFlows++
+				return nil
 			}
 		}
-		for pop := 0; pop < s.Background.NumPoPs; pop++ {
-			storedFlows, storedPkts = &truth.BackgroundFlows, new(uint64)
-			binRng := rng.Fork(uint64(b)<<16 | uint64(pop))
-			if err := bg.emitBin(binRng, iv, pop, b, binEmit); err != nil {
+		return emit(r)
+	}
+
+	if len(s.Trace) > 0 {
+		// Replayed background: rebase the trace under the scenario clock
+		// so its first record lands at the aligned start.
+		tr, err := ReadTrace(bytes.NewReader(s.Trace))
+		if err != nil {
+			return nil, err
+		}
+		offset := int64(start) - int64(tr.Records[0].Start)
+		storedFlows, storedPkts = &truth.BackgroundFlows, new(uint64)
+		for i := range tr.Records {
+			r := tr.Records[i]
+			rebased := int64(r.Start) + offset
+			if rebased < int64(start) || rebased >= int64(truth.Span.End) {
+				truth.TraceDropped++
+				continue
+			}
+			r.Start = uint32(rebased)
+			r.Anno = flow.AnnoBackground
+			if err := suppressedEmit(int((r.Start-start)/binSec), &r); err != nil {
 				return nil, err
+			}
+		}
+	} else {
+		bg := newBackgroundGen(s.Background)
+		for b := 0; b < s.Bins; b++ {
+			iv := flow.Interval{Start: start + uint32(b)*binSec, End: start + uint32(b+1)*binSec}
+			binEmit := func(r *flow.Record) error { return suppressedEmit(b, r) }
+			for pop := 0; pop < s.Background.NumPoPs; pop++ {
+				storedFlows, storedPkts = &truth.BackgroundFlows, new(uint64)
+				binRng := rng.Fork(uint64(b)<<16 | uint64(pop))
+				if err := bg.emitBin(binRng, iv, pop, b, binEmit); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

@@ -10,6 +10,18 @@ import (
 	"repro/internal/itemset"
 )
 
+// Defaults inherited by the zero values of the statistical pre-filter
+// knobs (see Options.Significance and Options.MinLift).
+const (
+	// DefaultSignificance is the one-sided z-score an item must clear
+	// against the uniform null to survive the fda pre-filter: two standard
+	// deviations, the conventional ~97.7% one-sided confidence cut.
+	DefaultSignificance = 2.0
+	// DefaultMinLift keeps itemsets at least as frequent as independence
+	// of their items would predict (lift >= 1).
+	DefaultMinLift = 1.0
+)
+
 // Options configures one mining run. It is the shared configuration
 // contract every registered miner honors identically.
 type Options struct {
@@ -23,16 +35,81 @@ type Options struct {
 	// MaxLen bounds the itemset length; 0 means no bound (i.e. up to
 	// flow.NumFeatures).
 	MaxLen int
+	// Prefilter enables per-item statistical pruning in miners that
+	// implement it (the FDA-style "fda" miner drops items whose weight is
+	// indistinguishable from a uniform spread over their feature before
+	// enumerating itemsets, then cuts mined sets below MinLift). Miners
+	// without a pre-filter ignore it. With Prefilter false every
+	// registered miner produces identical canonical output for equal
+	// inputs; with it true the fda output is a subset with equal supports.
+	Prefilter bool
+	// Significance is the pre-filter's one-sided z-score threshold: an
+	// item survives when its observed weight exceeds the uniform
+	// expectation over its feature by at least Significance standard
+	// deviations. Zero inherits DefaultSignificance; negative or NaN
+	// values are rejected. Ignored unless Prefilter is set.
+	Significance float64
+	// MinLift is the minimum lift (observed support over the independence
+	// expectation of the itemset's items) a mined itemset must reach.
+	// Zero inherits DefaultMinLift; negative or NaN values are rejected.
+	// Ignored unless Prefilter is set.
+	MinLift float64
 }
 
 // ErrZeroSupport is returned when Options.MinSupport is 0, which would
 // declare every possible itemset frequent.
 var ErrZeroSupport = errors.New("miner: MinSupport must be >= 1")
 
+// Validate normalizes o under the zero-inherits-default contract and
+// rejects explicitly invalid values. Every registered miner calls it at
+// the top of Mine, so the contract holds no matter which surface built
+// the options.
+func (o *Options) Validate() error {
+	if o.MinSupport == 0 {
+		return ErrZeroSupport
+	}
+	positive := func(v float64) bool { return v > 0 }
+	if err := FloatOption("miner", "Significance", &o.Significance, DefaultSignificance, positive, "> 0"); err != nil {
+		return err
+	}
+	return FloatOption("miner", "MinLift", &o.MinLift, DefaultMinLift, positive, "> 0")
+}
+
+// IntOption normalizes one non-negative integer option under the shared
+// zero-inherits-default contract: a negative value is an explicit error,
+// zero inherits def, anything else is kept. pkg and field name the option
+// in the error ("core: MinItemsets must be >= 0, got -1").
+func IntOption(pkg, field string, v *int, def int) error {
+	if *v < 0 {
+		return fmt.Errorf("%s: %s must be >= 0, got %d", pkg, field, *v)
+	}
+	if *v == 0 {
+		*v = def
+	}
+	return nil
+}
+
+// FloatOption normalizes one float option under the same contract: zero
+// inherits def, and the resulting value must satisfy valid. Write valid
+// in positive form (v > 0, not !(v <= 0)) so NaN — which compares false
+// to everything — fails it too; want describes the accepted range for
+// the error message.
+func FloatOption(pkg, field string, v *float64, def float64, valid func(float64) bool, want string) error {
+	if *v == 0 {
+		*v = def
+	}
+	if !valid(*v) {
+		return fmt.Errorf("%s: %s must be %s, got %v", pkg, field, want, *v)
+	}
+	return nil
+}
+
 // Miner mines frequent itemsets from a flow-transaction dataset. All
 // implementations must produce identical canonical output ([]Frequent in
-// itemset.SortFrequent order with equal supports) for equal inputs; the
-// cross-miner property tests enforce this for every registered miner.
+// itemset.SortFrequent order with equal supports) for equal inputs when
+// Options.Prefilter is off; the cross-miner property tests enforce this
+// for every registered miner. With Prefilter on, a filtering miner may
+// return a subset of that output (same supports, same canonical order).
 type Miner interface {
 	// Mine returns all itemsets with support >= opts.MinSupport in the
 	// chosen dimension, canonically sorted. Cancelling ctx aborts mining

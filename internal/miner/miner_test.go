@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/flow"
@@ -13,12 +15,13 @@ import (
 
 	// Built-in miners self-register.
 	_ "repro/internal/apriori"
+	_ "repro/internal/fda"
 	_ "repro/internal/fpgrowth"
 )
 
 func TestRegistryBuiltins(t *testing.T) {
 	names := miner.Names()
-	want := map[string]bool{"apriori": false, "fpgrowth": false}
+	want := map[string]bool{"apriori": false, "fda": false, "fpgrowth": false}
 	for _, n := range names {
 		if _, ok := want[n]; ok {
 			want[n] = true
@@ -177,6 +180,136 @@ func TestCrossMinerProperty(t *testing.T) {
 				t.Fatalf("%s: %s: %v", names[i], label, err)
 			}
 			assertIdentical(t, fmt.Sprintf("%s vs %s MineMaximal (%s)", names[0], names[i], label), refMax, gotMax)
+		}
+	}
+}
+
+// TestOptionsValidate is the table-driven contract test for the shared
+// option validator: zero inherits the default, explicit invalid values
+// (negative, NaN) error, explicit valid values are kept untouched.
+func TestOptionsValidate(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name    string
+		opts    miner.Options
+		wantErr string  // substring; empty = must validate
+		sig     float64 // expected normalized Significance
+		lift    float64 // expected normalized MinLift
+	}{
+		{name: "zero support", opts: miner.Options{}, wantErr: "MinSupport"},
+		{name: "zeros inherit defaults", opts: miner.Options{MinSupport: 1},
+			sig: miner.DefaultSignificance, lift: miner.DefaultMinLift},
+		{name: "explicit values kept", opts: miner.Options{MinSupport: 1, Significance: 3.5, MinLift: 1.2},
+			sig: 3.5, lift: 1.2},
+		{name: "negative significance", opts: miner.Options{MinSupport: 1, Significance: -1},
+			wantErr: "Significance"},
+		{name: "NaN significance", opts: miner.Options{MinSupport: 1, Significance: nan},
+			wantErr: "Significance"},
+		{name: "negative lift", opts: miner.Options{MinSupport: 1, MinLift: -0.5},
+			wantErr: "MinLift"},
+		{name: "NaN lift", opts: miner.Options{MinSupport: 1, MinLift: nan},
+			wantErr: "MinLift"},
+		{name: "tiny positive lift valid", opts: miner.Options{MinSupport: 1, MinLift: 0.01},
+			sig: miner.DefaultSignificance, lift: 0.01},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tc.opts
+			err := opts.Validate()
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if opts.Significance != tc.sig || opts.MinLift != tc.lift {
+				t.Fatalf("normalized to Significance=%v MinLift=%v, want %v/%v",
+					opts.Significance, opts.MinLift, tc.sig, tc.lift)
+			}
+		})
+	}
+}
+
+// TestSharedValidators covers the exported helpers core's validate is
+// built on.
+func TestSharedValidators(t *testing.T) {
+	v := 0
+	if err := miner.IntOption("pkg", "F", &v, 7); err != nil || v != 7 {
+		t.Fatalf("IntOption zero: v=%d err=%v, want 7/nil", v, err)
+	}
+	v = -1
+	if err := miner.IntOption("pkg", "F", &v, 7); err == nil {
+		t.Fatal("IntOption negative: want error")
+	}
+	v = 3
+	if err := miner.IntOption("pkg", "F", &v, 7); err != nil || v != 3 {
+		t.Fatalf("IntOption explicit: v=%d err=%v, want 3/nil", v, err)
+	}
+	in01 := func(x float64) bool { return x > 0 && x <= 1 }
+	f := 0.0
+	if err := miner.FloatOption("pkg", "F", &f, 0.5, in01, "in (0,1]"); err != nil || f != 0.5 {
+		t.Fatalf("FloatOption zero: f=%v err=%v, want 0.5/nil", f, err)
+	}
+	f = 2.0
+	if err := miner.FloatOption("pkg", "F", &f, 0.5, in01, "in (0,1]"); err == nil {
+		t.Fatal("FloatOption out of range: want error")
+	}
+	f = math.NaN()
+	if err := miner.FloatOption("pkg", "F", &f, 0.5, in01, "in (0,1]"); err == nil {
+		t.Fatal("FloatOption NaN: want error (positive-form predicate)")
+	}
+}
+
+// TestPrefilterSubset pins the fda filtering contract: with Prefilter on,
+// its result is a subset of the unfiltered canonical result with
+// identical supports, still in canonical order, and single-feature
+// anomaly concentrations (the shapes extraction feeds it) survive the
+// filter.
+func TestPrefilterSubset(t *testing.T) {
+	m, err := miner.New("fda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := miner.New("fpgrowth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 40; seed++ {
+		rng := stats.NewRNG(seed * 104729)
+		ds := randomWeightedDataset(seed+500, 10+rng.Intn(150))
+		opts := miner.Options{
+			MinSupport: uint64(1 + rng.Intn(30)),
+			ByPackets:  seed%2 == 0,
+		}
+		full, err := ref.Mine(t.Context(), ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Prefilter = true
+		opts.Significance = 0.5 + rng.Float64()*3
+		opts.MinLift = 0.5 + rng.Float64()
+		filtered, err := m.Mine(t.Context(), ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(filtered) > len(full) {
+			t.Fatalf("seed %d: filtered result larger than unfiltered (%d > %d)", seed, len(filtered), len(full))
+		}
+		// Subset with equal supports, order preserved: advance through the
+		// canonical full list and match each filtered row in turn.
+		j := 0
+		for _, fr := range filtered {
+			for j < len(full) && !(full[j].Items.Equal(fr.Items) && full[j].Support == fr.Support) {
+				j++
+			}
+			if j == len(full) {
+				t.Fatalf("seed %d: filtered itemset %v (support %d) not in unfiltered result in canonical order",
+					seed, fr.Items, fr.Support)
+			}
+			j++
 		}
 	}
 }

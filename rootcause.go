@@ -184,10 +184,12 @@ func RegisterDetector(name string, factory DetectorFactory) error {
 func DetectorNames() []string { return detector.Names() }
 
 // Miner is the pluggable frequent-itemset-mining contract of the
-// extraction engine. The built-ins ("apriori", "fpgrowth") are
-// pre-registered and produce identical canonical results; external
-// miners plug in via RegisterMiner and are selectable through
-// WithMiner, ExtractionOptions.Miner and the -miner CLI flags.
+// extraction engine. The built-ins ("apriori", "fpgrowth", "fda") are
+// pre-registered and produce identical canonical results — except fda
+// when its statistical pre-filter is enabled, which then returns a
+// subset (see docs/mining.md); external miners plug in via
+// RegisterMiner and are selectable through WithMiner,
+// ExtractionOptions.Miner and the -miner CLI flags.
 type Miner = miner.Miner
 
 // MinerFactory builds a miner instance for the registry.
@@ -211,6 +213,7 @@ type Option func(*callOptions)
 type callOptions struct {
 	extraction       *ExtractionOptions
 	miner            string
+	ranking          string
 	detectorCfg      any
 	concurrency      int
 	queryParallelism int
@@ -254,6 +257,24 @@ func WithExtractionOptions(opts ExtractionOptions) Option {
 // registered miners.
 func WithMiner(name string) Option {
 	return func(o *callOptions) { o.miner = name }
+}
+
+// Ranking modes for WithRanking and ExtractionOptions.Ranking: the
+// paper's support-share score (the default), pure lift, and share
+// weighted by lift (the FDA scoring shape; see docs/mining.md).
+const (
+	RankingSupport  = core.RankSupport
+	RankingLift     = core.RankLift
+	RankingWeighted = core.RankWeighted
+)
+
+// WithRanking selects how one Extract/ExtractAlarm/ExtractAll call
+// scores its final itemset list (RankingSupport, RankingLift or
+// RankingWeighted). It composes with WithExtractionOptions — the ranking
+// mode wins over the options' Ranking field. An unknown mode fails the
+// call with an error listing the valid ones.
+func WithRanking(mode string) Option {
+	return func(o *callOptions) { o.ranking = mode }
 }
 
 // WithDetectorConfig passes a detector-specific configuration value
@@ -641,10 +662,10 @@ func (s *System) Alarm(id string) (AlarmEntry, error) { return s.alarms.Get(id) 
 var ErrNoUsefulItemsets = errors.New("rootcause: extraction produced no itemsets")
 
 // extractor returns the engine for one call: the system default, or a
-// fresh one when WithExtractionOptions, WithMiner or WithProgress
-// override the configuration.
+// fresh one when WithExtractionOptions, WithMiner, WithRanking or
+// WithProgress override the configuration.
 func (s *System) extractor(o *callOptions) (*core.Extractor, error) {
-	if o.extraction == nil && o.miner == "" && o.progress == nil {
+	if o.extraction == nil && o.miner == "" && o.ranking == "" && o.progress == nil {
 		return s.ex, nil
 	}
 	opts := s.exOpts
@@ -653,6 +674,9 @@ func (s *System) extractor(o *callOptions) (*core.Extractor, error) {
 	}
 	if o.miner != "" {
 		opts.Miner = o.miner
+	}
+	if o.ranking != "" {
+		opts.Ranking = o.ranking
 	}
 	if o.progress != nil {
 		opts.Progress = o.progress
